@@ -1,0 +1,230 @@
+// Command experiments regenerates every table and figure of Section VI of
+// the paper plus demonstrations of Theorems 1 and 2. Output is textual:
+// Table I/II-style statistic blocks and ASCII performance profiles for the
+// figures; -csv writes machine-readable profile curves next to them.
+//
+// Usage:
+//
+//	experiments -exp all -scale medium
+//	experiments -exp fig7 -scale full -csv out/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/profile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | all")
+	scaleName := fs.String("scale", "medium", "dataset scale: small | medium | full")
+	csvDir := fs.String("csv", "", "directory for CSV profile exports (optional)")
+	seeds := fs.Int("seeds", 3, "random-weight copies per tree for table2/fig9")
+	workers := fs.Int("workers", 0, "parallel workers for table1 (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale dataset.Scale
+	switch *scaleName {
+	case "small":
+		scale = dataset.Small
+	case "medium":
+		scale = dataset.Medium
+	case "full":
+		scale = dataset.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	want := func(names ...string) bool {
+		for _, n := range names {
+			if *exp == n || *exp == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	writeCSV := func(name string, curves []profile.Curve, maxTau float64) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var taus []float64
+		const steps = 200
+		for i := 0; i <= steps; i++ {
+			taus = append(taus, 1+(maxTau-1)*float64(i)/steps)
+		}
+		return profile.WriteCSV(f, curves, taus)
+	}
+
+	var insts []dataset.Instance
+	needSuite := want("table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "ablation")
+	if needSuite {
+		var err error
+		insts, err = dataset.AssemblySuite(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "dataset: %d assembly trees (%s scale)\n\n", len(insts), *scaleName)
+	}
+
+	if want("table1", "fig5") {
+		mc, err := experiments.RunMemoryComparisonParallel(context.Background(), insts, *workers)
+		if err != nil {
+			return err
+		}
+		if want("table1") {
+			fmt.Fprint(w, experiments.FormatStats("Table I — PostOrder memory vs optimal (assembly trees)", mc.Stats()))
+			fmt.Fprintln(w)
+		}
+		if want("fig5") {
+			curves, err := mc.Profile(true)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Figure 5 — memory profile, PostOrder vs optimal (non-optimal cases only)")
+			fmt.Fprintln(w, profile.Render(curves, 60, 12, 1.25))
+			fmt.Fprintln(w, experiments.FormatCurveSummaries(curves))
+			if err := writeCSV("fig5", curves, 1.25); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig6") {
+		tr := experiments.RunTimings(insts)
+		curves, err := tr.Profile()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 6 — run time profile of the three MinMemory algorithms")
+		fmt.Fprintln(w, profile.Render(curves, 60, 12, 5))
+		fmt.Fprintln(w, experiments.FormatCurveSummaries(curves))
+		counts := tr.FastestCounts()
+		for _, alg := range experiments.TimingAlgorithms {
+			fmt.Fprintf(w, "  %-10s fastest (or tied) on %d/%d instances\n", alg, counts[alg], len(tr.Names))
+		}
+		fmt.Fprintln(w)
+		if err := writeCSV("fig6", curves, 5); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		hr, err := experiments.RunHeuristics(insts)
+		if err != nil {
+			return err
+		}
+		curves, err := hr.Profile()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 7 — I/O volume profile of the six eviction heuristics (MinMem traversals)")
+		fmt.Fprintln(w, profile.Render(curves, 60, 12, 5))
+		fmt.Fprintln(w, experiments.FormatCurveSummaries(curves))
+		if err := writeCSV("fig7", curves, 5); err != nil {
+			return err
+		}
+	}
+	if want("fig8") {
+		tio, err := experiments.RunTraversalIO(insts)
+		if err != nil {
+			return err
+		}
+		curves, err := tio.Profile()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 8 — I/O volume profile of the three traversal algorithms + First Fit")
+		fmt.Fprintln(w, profile.Render(curves, 60, 12, 5))
+		fmt.Fprintln(w, experiments.FormatCurveSummaries(curves))
+		if err := writeCSV("fig8", curves, 5); err != nil {
+			return err
+		}
+	}
+	if want("table2", "fig9") {
+		rnd := dataset.RandomWeightSuite(insts, *seeds)
+		mc := experiments.RunMemoryComparison(rnd)
+		if want("table2") {
+			fmt.Fprint(w, experiments.FormatStats("Table II — PostOrder memory vs optimal (random-weight trees)", mc.Stats()))
+			fmt.Fprintln(w)
+		}
+		if want("fig9") {
+			curves, err := mc.Profile(false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Figure 9 — memory profile, PostOrder vs optimal (random trees)")
+			fmt.Fprintln(w, profile.Render(curves, 60, 12, 2.0))
+			fmt.Fprintln(w, experiments.FormatCurveSummaries(curves))
+			if err := writeCSV("fig9", curves, 2.0); err != nil {
+				return err
+			}
+		}
+	}
+	if want("ablation") {
+		out, err := experiments.FormatAblations(insts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Design ablations (see DESIGN.md)")
+		fmt.Fprint(w, out)
+		fmt.Fprintln(w)
+	}
+	if want("theorem1") {
+		rows, err := experiments.RunTheorem1(4, 6, 400, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Theorem 1 — nested harpoons (b=4, M=400, ε=1): unbounded PostOrder/optimal ratio")
+		fmt.Fprintf(w, "  %-7s %-8s %-12s %-12s %-8s\n", "levels", "nodes", "postorder", "optimal", "ratio")
+		for _, r := range rows {
+			check := "ok"
+			if r.PostOrder != r.WantPO || r.Optimal != r.WantOpt {
+				check = "MISMATCH with closed form"
+			}
+			fmt.Fprintf(w, "  %-7d %-8d %-12d %-12d %-8.3f %s\n", r.Levels, r.Nodes, r.PostOrder, r.Optimal, r.Ratio, check)
+		}
+		fmt.Fprintln(w)
+	}
+	if want("theorem2") {
+		rows, err := experiments.RunTheorem2(20)
+		if err != nil {
+			return err
+		}
+		ok := 0
+		fmt.Fprintln(w, "Theorem 2 — 2-Partition reduction: MinIO ≤ S/2 ⇔ instance solvable")
+		for _, r := range rows {
+			status := "consistent"
+			if !r.Consistent {
+				status = "INCONSISTENT"
+			}
+			if r.Consistent {
+				ok++
+			}
+			fmt.Fprintf(w, "  items=%-20s solvable=%-5v minIO=%-5d bound=%-5d %s\n",
+				fmt.Sprint(r.Items), r.Solvable, r.MinIO, r.Bound, status)
+		}
+		fmt.Fprintf(w, "  %d/%d instances consistent\n\n", ok, len(rows))
+	}
+	return nil
+}

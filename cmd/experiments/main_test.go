@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllSmall(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-exp", "all", "-scale", "small", "-seeds", "1", "-csv", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+		"Table II", "Figure 9", "Theorem 1", "Theorem 2", "consistent",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	for _, f := range []string{"fig5.csv", "fig6.csv", "fig7.csv", "fig8.csv", "fig9.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("CSV %s missing: %v", f, err)
+		}
+		if !strings.HasPrefix(string(data), "tau,") {
+			t.Fatalf("CSV %s malformed", f)
+		}
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "theorem1", "theorem2"} {
+		var sb strings.Builder
+		if err := run([]string{"-exp", exp, "-scale", "small"}, &sb); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+	// A single experiment must not run the others.
+	var sb strings.Builder
+	if err := run([]string{"-exp", "theorem1", "-scale", "small"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Table I") {
+		t.Fatal("theorem1 run produced Table I")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "nope"}, &sb); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command minio simulates out-of-core traversals: given a .tree file and a
+// main-memory budget, it runs the paper's six eviction heuristics on a
+// chosen traversal and reports the I/O volume of each, plus the divisible
+// lower bound.
+//
+// Usage:
+//
+//	minio -in workflow.tree -frac 0.5                  # sweep point between MaxMemReq and optimal
+//	minio -in workflow.tree -mem 12345 -traversal postorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/minio"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("minio", flag.ContinueOnError)
+	in := fs.String("in", "", "input .tree file (default stdin)")
+	mem := fs.Int64("mem", 0, "main memory size (overrides -frac)")
+	frac := fs.Float64("frac", 0.5, "memory as a fraction between MaxMemReq (0) and the in-core optimum (1)")
+	trav := fs.String("traversal", "minmem", "traversal: minmem | postorder | liu")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	t, err := tree.Read(r)
+	if err != nil {
+		return err
+	}
+	var res traversal.Result
+	switch *trav {
+	case "minmem":
+		res = traversal.MinMem(t)
+	case "postorder":
+		res = traversal.BestPostOrder(t)
+	case "liu":
+		res = traversal.LiuExact(t)
+	default:
+		return fmt.Errorf("unknown traversal %q", *trav)
+	}
+	lo := t.MaxMemReq()
+	hi := traversal.MinMem(t).Memory
+	m := *mem
+	if m == 0 {
+		if *frac < 0 || *frac > 1 {
+			return fmt.Errorf("-frac must be in [0,1], got %f", *frac)
+		}
+		m = lo + int64(*frac*float64(hi-lo))
+	}
+	if m < lo {
+		return fmt.Errorf("memory %d below MaxMemReq %d: no schedule exists", m, lo)
+	}
+	fmt.Fprintf(w, "tree: %d nodes, MaxMemReq %d, in-core optimum %d\n", t.Len(), lo, hi)
+	fmt.Fprintf(w, "traversal: %s (needs %d in-core), memory M=%d\n", *trav, res.Memory, m)
+	lb, err := minio.LowerBoundDivisible(t, res.Order, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %12s %8s\n", "policy", "IO volume", "writes")
+	for _, pol := range minio.Policies {
+		sim, err := minio.Simulate(t, res.Order, m, pol)
+		if err != nil {
+			return fmt.Errorf("%v: %w", pol, err)
+		}
+		fmt.Fprintf(w, "%-16s %12d %8d\n", pol.String(), sim.IO, len(sim.Writes))
+	}
+	fmt.Fprintf(w, "%-16s %12d    (divisible relaxation, same traversal)\n", "lower bound", lb)
+	return nil
+}

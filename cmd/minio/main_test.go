@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func writeTree(t *testing.T) string {
+	t.Helper()
+	h, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "h.tree")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := h.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	path := writeTree(t)
+	for _, trav := range []string{"minmem", "postorder", "liu"} {
+		var sb strings.Builder
+		if err := run([]string{"-in", path, "-frac", "0.25", "-traversal", trav}, &sb); err != nil {
+			t.Fatalf("%s: %v", trav, err)
+		}
+		out := sb.String()
+		for _, want := range []string{"LSNF", "First Fit", "Best Fit", "First Fill", "Best Fill", "Best K Comb.", "lower bound"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s output missing %q:\n%s", trav, want, out)
+			}
+		}
+	}
+}
+
+func TestRunExplicitMemory(t *testing.T) {
+	path := writeTree(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-mem", "33"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "M=33") {
+		t.Fatalf("memory not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTree(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-traversal", "nope"}, &sb); err == nil {
+		t.Fatal("unknown traversal accepted")
+	}
+	if err := run([]string{"-in", path, "-frac", "1.5"}, &sb); err == nil {
+		t.Fatal("fraction out of range accepted")
+	}
+	if err := run([]string{"-in", path, "-mem", "5"}, &sb); err == nil {
+		t.Fatal("memory below MaxMemReq accepted")
+	}
+	if err := run([]string{"-in", "/missing"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

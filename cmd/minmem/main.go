@@ -1,0 +1,78 @@
+// Command minmem solves the MinMemory problem on a .tree file with the
+// three algorithms of the paper (best postorder, Liu's exact algorithm, the
+// new MinMem) and reports memory values, run times and a cross-check of
+// every returned traversal against the Algorithm 1 feasibility checker.
+//
+// Usage:
+//
+//	minmem -in workflow.tree [-algo all|postorder|liu|minmem]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minmem:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("minmem", flag.ContinueOnError)
+	in := fs.String("in", "", "input .tree file (default stdin)")
+	algo := fs.String("algo", "all", "algorithm: all | postorder | liu | minmem")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	t, err := tree.Read(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "tree: %d nodes, depth %d, MaxMemReq %d, ΣF %d\n",
+		t.Len(), t.Depth(), t.MaxMemReq(), t.TotalF())
+	type alg struct {
+		name string
+		f    func(*tree.Tree) traversal.Result
+	}
+	algs := []alg{
+		{"postorder", traversal.BestPostOrder},
+		{"liu", traversal.LiuExact},
+		{"minmem", traversal.MinMem},
+	}
+	ran := 0
+	for _, a := range algs {
+		if *algo != "all" && *algo != a.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res := a.f(t)
+		elapsed := time.Since(start)
+		if err := traversal.CheckInCore(t, res.Order, res.Memory); err != nil {
+			return fmt.Errorf("%s: returned traversal failed the checker: %w", a.name, err)
+		}
+		fmt.Fprintf(w, "%-10s memory=%-12d time=%-12s (traversal verified)\n", a.name, res.Memory, elapsed)
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func writeTree(t *testing.T) string {
+	t.Helper()
+	h, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "h.tree")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := h.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeTree(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"postorder", "liu", "minmem", "traversal verified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Harpoon(3, 2, 30, 1): postorder needs 71, optimal 35.
+	if !strings.Contains(out, "memory=71") || !strings.Contains(out, "memory=35") {
+		t.Fatalf("wrong memory values:\n%s", out)
+	}
+}
+
+func TestRunSingleAlgorithm(t *testing.T) {
+	path := writeTree(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-algo", "minmem"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "postorder") {
+		t.Fatal("postorder ran despite -algo minmem")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTree(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-algo", "nope"}, &sb); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.tree")
+	if err := os.WriteFile(bad, []byte("not a tree"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}, &sb); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

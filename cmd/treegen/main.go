@@ -1,0 +1,224 @@
+// Command treegen generates .tree workflow files: Theorem 1 harpoons,
+// random trees, 2-Partition reduction gadgets, and full assembly trees
+// produced by the matrix → ordering → symbolic pipeline.
+//
+// Usage examples:
+//
+//	treegen -kind harpoon -b 4 -levels 3 -mem 400 -eps 1 -o harpoon.tree
+//	treegen -kind random -nodes 1000 -maxf 100 -maxn 20 -seed 7 -o rnd.tree
+//	treegen -kind assembly -matrix grid2d:32 -order md -relax 4 -o asm.tree
+//	treegen -kind reduction -items 3,5,2,4 -o gadget.tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("treegen", flag.ContinueOnError)
+	var (
+		kind   = fs.String("kind", "random", "tree kind: harpoon | random | assembly | reduction | chain")
+		out    = fs.String("o", "", "output file (default stdout)")
+		b      = fs.Int("b", 3, "harpoon: branches per level")
+		levels = fs.Int("levels", 1, "harpoon: nesting depth")
+		mem    = fs.Int64("mem", 300, "harpoon: M parameter")
+		eps    = fs.Int64("eps", 1, "harpoon: ε parameter")
+		nodes  = fs.Int("nodes", 100, "random/chain: node count")
+		maxF   = fs.Int64("maxf", 100, "random/chain: max input file size")
+		maxN   = fs.Int64("maxn", 10, "random/chain: max execution file size")
+		attach = fs.String("attach", "uniform", "random: uniform | preferential | chainy")
+		seed   = fs.Int64("seed", 1, "random: PRNG seed")
+		matrix = fs.String("matrix", "grid2d:16", "assembly: grid2d:K | grid3d:K | rand:N,DEG | band:N,B")
+		order  = fs.String("order", "md", "assembly: md | nd | rcm | natural")
+		relax  = fs.Int("relax", 1, "assembly: relaxed amalgamation budget per node")
+		items  = fs.String("items", "1,2,3", "reduction: comma-separated 2-Partition items")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		t   *tree.Tree
+		err error
+	)
+	switch *kind {
+	case "harpoon":
+		t, err = tree.NestedHarpoon(*b, *levels, *mem, *eps)
+	case "random":
+		var k tree.AttachKind
+		switch *attach {
+		case "uniform":
+			k = tree.AttachUniform
+		case "preferential":
+			k = tree.AttachPreferential
+		case "chainy":
+			k = tree.AttachChainy
+		default:
+			return fmt.Errorf("unknown attach kind %q", *attach)
+		}
+		t, err = tree.Random(rand.New(rand.NewSource(*seed)), tree.RandomOptions{
+			Nodes: *nodes, MaxF: *maxF, MaxN: *maxN, Attach: k,
+		})
+	case "chain":
+		rng := rand.New(rand.NewSource(*seed))
+		f := make([]int64, *nodes)
+		n := make([]int64, *nodes)
+		for i := range f {
+			f[i] = 1 + rng.Int63n(*maxF)
+			if *maxN > 0 {
+				n[i] = rng.Int63n(*maxN + 1)
+			}
+		}
+		t, err = tree.Chain(f, n)
+	case "assembly":
+		t, err = buildAssembly(*matrix, *order, *relax)
+	case "reduction":
+		var a []int64
+		for _, s := range strings.Split(*items, ",") {
+			v, perr := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if perr != nil {
+				return fmt.Errorf("bad item %q: %v", s, perr)
+			}
+			a = append(a, v)
+		}
+		var inst *tree.TwoPartitionInstance
+		inst, err = tree.NewTwoPartition(a)
+		if err == nil {
+			t = inst.Tree
+			fmt.Fprintf(os.Stderr, "reduction: M=%d IO bound=%d\n", inst.Memory, inst.IOBound)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d-node tree (MaxMemReq=%d)\n", t.Len(), t.MaxMemReq())
+	return nil
+}
+
+func buildAssembly(matrixSpec, orderName string, relax int) (*tree.Tree, error) {
+	m, err := parseMatrix(matrixSpec)
+	if err != nil {
+		return nil, err
+	}
+	var perm []int
+	switch orderName {
+	case "md":
+		perm, err = ordering.MinimumDegree(m)
+	case "nd":
+		perm, err = ordering.NestedDissection(m, ordering.NestedDissectionOptions{})
+	case "rcm":
+		perm, err = ordering.ReverseCuthillMcKee(m)
+	case "natural":
+		perm = ordering.Natural(m)
+	default:
+		return nil, fmt.Errorf("unknown ordering %q", orderName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pm, err := m.Permute(perm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := symbolic.AssemblyTree(pm, symbolic.AssemblyOptions{Relax: relax})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tree, nil
+}
+
+func parseMatrix(spec string) (*sparse.Matrix, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("matrix spec %q: want kind:params", spec)
+	}
+	params := strings.Split(parts[1], ",")
+	atoi := func(s string) (int, error) { return strconv.Atoi(strings.TrimSpace(s)) }
+	switch parts[0] {
+	case "grid2d":
+		k, err := atoi(params[0])
+		if err != nil {
+			return nil, err
+		}
+		return sparse.Grid2D(k, k)
+	case "grid3d":
+		k, err := atoi(params[0])
+		if err != nil {
+			return nil, err
+		}
+		return sparse.Grid3D(k, k, k)
+	case "rand":
+		if len(params) != 2 {
+			return nil, fmt.Errorf("rand matrix wants N,DEG")
+		}
+		n, err := atoi(params[0])
+		if err != nil {
+			return nil, err
+		}
+		deg, err := strconv.ParseFloat(strings.TrimSpace(params[1]), 64)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sparse.RandomSymmetric(rand.New(rand.NewSource(99)), n, deg)
+		if err != nil {
+			return nil, err
+		}
+		return m.Symmetrize(), nil
+	case "band":
+		if len(params) != 2 {
+			return nil, fmt.Errorf("band matrix wants N,B")
+		}
+		n, err := atoi(params[0])
+		if err != nil {
+			return nil, err
+		}
+		hb, err := atoi(params[1])
+		if err != nil {
+			return nil, err
+		}
+		return sparse.BandMatrix(n, hb)
+	case "mm":
+		f, err := os.Open(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := sparse.ReadMatrixMarket(f)
+		if err != nil {
+			return nil, err
+		}
+		return m.Symmetrize(), nil
+	default:
+		return nil, fmt.Errorf("unknown matrix kind %q", parts[0])
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of Jacquelin, Marchal,
+// Robert and Uçar, "On optimal tree traversals for sparse matrix
+// factorization" (IPDPS 2011): memory-optimal traversals of tree-shaped
+// workflows (MinMemory) and I/O-minimizing out-of-core traversals (MinIO),
+// together with the complete multifrontal substrate needed to regenerate
+// the paper's experimental evaluation.
+//
+// The library lives under internal/ (see DESIGN.md for the map); cmd/
+// contains the executables and examples/ runnable walkthroughs. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's Section VI.
+package repro

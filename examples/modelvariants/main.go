@@ -1,0 +1,82 @@
+// Modelvariants walks through Section III-C of the paper: the pebble-game
+// "model with replacement" (Figure 1) and Liu's x⁺/x⁻ model (Figure 2) both
+// reduce to the paper's model, and the unit replacement model is exactly
+// the Sethi–Ullman register problem of Section II-B.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pebble"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+func main() {
+	// --- Figure 1: the model with replacement -------------------------
+	// A node needs max(f_i, Σ f_children) memory: the input file is
+	// replaced in place by the outputs. The transform adds a negative
+	// execution file n_i = −min(f_i, Σ f_children).
+	parent := []int{tree.NoParent, 0, 0, 0, 2, 2, 5, 5}
+	f := []int64{1, 1, 1, 2, 1, 3, 1, 2}
+	repl, err := tree.FromReplacementModel(parent, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 1 — replacement model transform")
+	fmt.Printf("  node: f, n, MemReq = max(f, Σ children f)\n")
+	for i := 0; i < repl.Len(); i++ {
+		fmt.Printf("  %4d: %2d %3d %3d\n", i, repl.F(i), repl.N(i), repl.MemReq(i))
+	}
+	fmt.Printf("  optimal pebbles for the tree: %d\n\n", traversal.MinMem(repl).Memory)
+
+	// --- Figure 2: Liu's x+/x− model ----------------------------------
+	// Each column x is described by its processing peak n_{x+} and the
+	// subtree storage n_{x−}; merging the pair back gives our model with
+	// f = n_{x−} and MemReq = n_{x+}.
+	liu := []tree.LiuModelNode{
+		{Parent: tree.NoParent, NPlus: 9, NMinus: 3},
+		{Parent: 0, NPlus: 5, NMinus: 2},
+		{Parent: 0, NPlus: 6, NMinus: 2},
+		{Parent: 1, NPlus: 4, NMinus: 1},
+		{Parent: 1, NPlus: 3, NMinus: 1},
+	}
+	lt, err := tree.FromLiuModel(liu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 2 — Liu's x+/x− model transform")
+	for i, nd := range liu {
+		fmt.Printf("  node %d: n+=%d n−=%d  →  f=%d n=%d MemReq=%d\n",
+			i, nd.NPlus, nd.NMinus, lt.F(i), lt.N(i), lt.MemReq(i))
+	}
+	fmt.Printf("  minimum memory: %d\n\n", traversal.MinMem(lt).Memory)
+
+	// --- Section II-B: the Sethi–Ullman connection --------------------
+	// On unit files the replacement model is the classic register
+	// allocation problem; the Sethi–Ullman label equals MinMemory.
+	balanced := []int{tree.NoParent, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6}
+	su, err := pebble.SethiUllmanNumber(balanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ut, err := pebble.UnitTree(balanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mm := traversal.MinMem(ut).Memory
+	fmt.Println("Section II-B — unit pebbles = Sethi–Ullman registers")
+	fmt.Printf("  balanced binary tree of depth 3: SU number %d, MinMem %d\n", su, mm)
+	if su != mm {
+		log.Fatal("mismatch: the reduction is broken")
+	}
+	// With fewer registers the spills of the SU strategy appear:
+	for m := mm; m >= ut.MaxMemReq(); m-- {
+		io, err := pebble.UnitMinIO(balanced, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d registers → %d stores\n", m, io)
+	}
+}

@@ -1,0 +1,67 @@
+// Outofcore explores the MinIO side of the paper: an assembly tree is
+// executed with less and less main memory, and the six eviction heuristics
+// of Section V-B are compared on the resulting I/O volume, together with
+// the divisible lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/minio"
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/traversal"
+)
+
+func main() {
+	// Assembly tree of a 3D model problem under nested dissection — the
+	// wide trees where traversal order and eviction policy matter most.
+	m, err := sparse.Grid3D(7, 7, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perm, err := ordering.NestedDissection(m, ordering.NestedDissectionOptions{LeafSize: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := m.Permute(perm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := symbolic.AssemblyTree(pm, symbolic.AssemblyOptions{Relax: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := res.Tree
+	lo := t.MaxMemReq()
+	po := traversal.BestPostOrder(t) // PostOrder wins for out-of-core (Figure 8)
+	hi := po.Memory
+	order := po.Order
+	fmt.Printf("assembly tree: %d nodes; this traversal needs %d in-core, absolute floor %d\n\n", t.Len(), hi, lo)
+	fmt.Printf("%-10s", "memory")
+	for _, pol := range minio.Policies {
+		fmt.Printf(" %13s", pol)
+	}
+	fmt.Printf(" %13s\n", "lower bound")
+	for _, fr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		mem := lo + int64(fr*float64(hi-lo))
+		fmt.Printf("%-10d", mem)
+		for _, pol := range minio.Policies {
+			sim, err := minio.Simulate(t, order, mem, pol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %13d", sim.IO)
+		}
+		lb, err := minio.LowerBoundDivisible(t, order, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %13d\n", lb)
+	}
+	fmt.Println("\nI/O falls to zero once memory reaches the traversal's in-core need. The")
+	fmt.Println("divisible bound shrinks smoothly, while integral policies pay for whole")
+	fmt.Println("files — the gap is the price of indivisibility that makes MinIO NP-hard.")
+}

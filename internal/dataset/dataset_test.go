@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/traversal"
+)
+
+func TestAssemblySuiteSmall(t *testing.T) {
+	insts, err := AssemblySuite(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 matrices × 2 orderings × 4 relax levels.
+	if len(insts) != 3*2*len(RelaxLevels) {
+		t.Fatalf("suite has %d instances, want %d", len(insts), 3*2*len(RelaxLevels))
+	}
+	seen := map[string]bool{}
+	for _, inst := range insts {
+		if seen[inst.Name] {
+			t.Fatalf("duplicate instance name %s", inst.Name)
+		}
+		seen[inst.Name] = true
+		if inst.Tree.Len() < 1 || inst.Tree.Len() > inst.N+1 {
+			t.Fatalf("%s: tree has %d nodes for n=%d", inst.Name, inst.Tree.Len(), inst.N)
+		}
+		if !strings.Contains(inst.Name, inst.Ordering) {
+			t.Fatalf("%s: name/ordering mismatch", inst.Name)
+		}
+		// Every tree must be traversable: the three algorithms agree.
+		mm := traversal.MinMem(inst.Tree)
+		liu := traversal.LiuExact(inst.Tree)
+		po := traversal.BestPostOrder(inst.Tree)
+		if mm.Memory != liu.Memory {
+			t.Fatalf("%s: MinMem %d != Liu %d", inst.Name, mm.Memory, liu.Memory)
+		}
+		if po.Memory < mm.Memory {
+			t.Fatalf("%s: postorder below optimal", inst.Name)
+		}
+	}
+	// Determinism: a second call yields identical trees.
+	again, err := AssemblySuite(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if insts[i].Name != again[i].Name || insts[i].Tree.Len() != again[i].Tree.Len() {
+			t.Fatal("suite generation is not deterministic")
+		}
+		a, b := insts[i].Tree.FVector(), again[i].Tree.FVector()
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("%s: nondeterministic weights", insts[i].Name)
+			}
+		}
+	}
+}
+
+func TestRelaxMonotonicallyCoarsens(t *testing.T) {
+	insts, err := AssemblySuite(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by matrix/ordering; tree size must not grow with relax.
+	size := map[string]int{}
+	for _, inst := range insts {
+		key := inst.MatrixName + "/" + inst.Ordering
+		if prev, ok := size[key]; ok && inst.Tree.Len() > prev {
+			t.Fatalf("%s: relax=%d grew the tree (%d > %d)", inst.Name, inst.Relax, inst.Tree.Len(), prev)
+		}
+		size[key] = inst.Tree.Len()
+	}
+}
+
+func TestRandomWeightSuite(t *testing.T) {
+	insts, err := AssemblySuite(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := RandomWeightSuite(insts[:4], 3)
+	if len(rw) != 12 {
+		t.Fatalf("random suite has %d instances, want 12", len(rw))
+	}
+	for i, inst := range rw {
+		base := insts[i/3]
+		if inst.Tree.Len() != base.Tree.Len() {
+			t.Fatalf("%s: shape changed", inst.Name)
+		}
+		p := inst.Tree.Len()
+		for k := 0; k < p; k++ {
+			if inst.Tree.F(k) < 1 || inst.Tree.F(k) > int64(p) {
+				t.Fatalf("%s: f out of range", inst.Name)
+			}
+		}
+	}
+	// Determinism.
+	rw2 := RandomWeightSuite(insts[:4], 3)
+	for i := range rw {
+		a, b := rw[i].Tree.FVector(), rw2[i].Tree.FVector()
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatal("random weight suite not deterministic")
+			}
+		}
+	}
+}
+
+func TestMediumSuiteGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium suite in -short mode")
+	}
+	insts, err := AssemblySuite(Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 8*2*len(RelaxLevels) {
+		t.Fatalf("medium suite has %d instances", len(insts))
+	}
+}
+
+func TestFullSuiteGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	insts, err := AssemblySuite(Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 28 matrices × 2 orderings × 4 relax levels.
+	if len(insts) != 28*2*len(RelaxLevels) {
+		t.Fatalf("full suite has %d instances, want %d", len(insts), 28*2*len(RelaxLevels))
+	}
+	// Sizes span the intended range and every family is present.
+	families := map[string]bool{}
+	maxN := 0
+	for _, inst := range insts {
+		for _, prefix := range []string{"grid2d", "grid3d", "rand", "band", "scalefree"} {
+			if strings.HasPrefix(inst.MatrixName, prefix) {
+				families[prefix] = true
+			}
+		}
+		if inst.N > maxN {
+			maxN = inst.N
+		}
+	}
+	if len(families) != 5 {
+		t.Fatalf("families missing: %v", families)
+	}
+	if maxN < 10000 {
+		t.Fatalf("largest matrix only n=%d", maxN)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/minio"
+	"repro/internal/runner"
+	"repro/internal/traversal"
+)
+
+// RunMemoryComparisonParallel is RunMemoryComparison fanned out over a
+// worker pool; results are bit-identical to the sequential run (verified in
+// tests) because instances are independent.
+func RunMemoryComparisonParallel(ctx context.Context, insts []dataset.Instance, workers int) (MemoryComparison, error) {
+	type row struct {
+		name    string
+		po, opt int64
+	}
+	rows, err := runner.Map(ctx, len(insts), workers, func(i int) (row, error) {
+		inst := insts[i]
+		return row{
+			name: inst.Name,
+			po:   traversal.BestPostOrder(inst.Tree).Memory,
+			opt:  traversal.MinMem(inst.Tree).Memory,
+		}, nil
+	})
+	if err != nil {
+		return MemoryComparison{}, err
+	}
+	mc := MemoryComparison{}
+	for _, r := range rows {
+		mc.Names = append(mc.Names, r.name)
+		mc.PostOrder = append(mc.PostOrder, r.po)
+		mc.Optimal = append(mc.Optimal, r.opt)
+	}
+	return mc, nil
+}
+
+// AblationPostorderRule quantifies the value of Liu's child-sorting rule:
+// for each instance it compares the natural postorder (stored child order)
+// with the best postorder. Returns the fraction of instances where sorting
+// helps and the mean natural/best memory ratio.
+func AblationPostorderRule(insts []dataset.Instance) (fractionImproved, meanRatio float64) {
+	improved := 0
+	var sum float64
+	for _, inst := range insts {
+		nat := traversal.NaturalPostOrder(inst.Tree).Memory
+		best := traversal.BestPostOrder(inst.Tree).Memory
+		if nat > best {
+			improved++
+		}
+		sum += float64(nat) / float64(best)
+	}
+	n := float64(len(insts))
+	return float64(improved) / n, sum / n
+}
+
+// AblationMinMemReuse quantifies the frontier reuse of Algorithm 4: the
+// total number of Explore invocations with and without carrying the saved
+// cut between memory lifts, summed over the suite. Both variants return
+// the same optimal memory (checked).
+func AblationMinMemReuse(insts []dataset.Instance) (withReuse, withoutReuse int64, err error) {
+	for _, inst := range insts {
+		a := traversal.MinMem(inst.Tree).Memory
+		b := traversal.MinMemNoReuse(inst.Tree).Memory
+		if a != b {
+			return 0, 0, fmt.Errorf("ablation: reuse changed the result on %s (%d vs %d)", inst.Name, a, b)
+		}
+		withReuse += traversal.ExploreCalls(inst.Tree, true)
+		withoutReuse += traversal.ExploreCalls(inst.Tree, false)
+	}
+	return withReuse, withoutReuse, nil
+}
+
+// AblationBestKWindow sweeps the Best-K subset window and reports the total
+// I/O volume over the suite at the tightest memory (MaxMemReq), using
+// MinMem traversals. Larger windows can only match or reduce each step's
+// overshoot at exponentially growing search cost.
+func AblationBestKWindow(insts []dataset.Instance, windows []int) (map[int]int64, error) {
+	out := make(map[int]int64, len(windows))
+	for _, k := range windows {
+		var total int64
+		for _, inst := range insts {
+			order := traversal.MinMem(inst.Tree).Order
+			sim, err := minio.SimulateWithWindow(inst.Tree, order, inst.Tree.MaxMemReq(), minio.BestKCombination, k)
+			if err != nil {
+				return nil, fmt.Errorf("ablation: %s K=%d: %w", inst.Name, k, err)
+			}
+			total += sim.IO
+		}
+		out[k] = total
+	}
+	return out, nil
+}
+
+// FormatAblations renders the three ablations as a report block.
+func FormatAblations(insts []dataset.Instance) (string, error) {
+	var b strings.Builder
+	frac, ratio := AblationPostorderRule(insts)
+	fmt.Fprintf(&b, "Ablation — Liu's postorder child-sorting rule\n")
+	fmt.Fprintf(&b, "  natural postorder worse on %.1f%% of instances, mean natural/best ratio %.3f\n", 100*frac, ratio)
+	withR, withoutR, err := AblationMinMemReuse(insts)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Ablation — MinMem frontier reuse between memory lifts\n")
+	fmt.Fprintf(&b, "  Explore calls with reuse %d, without %d (%.2fx saved)\n",
+		withR, withoutR, float64(withoutR)/float64(withR))
+	windows := []int{1, 2, 5, 8}
+	io, err := AblationBestKWindow(insts, windows)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Ablation — Best-K combination window\n")
+	for _, k := range windows {
+		fmt.Fprintf(&b, "  K=%d: total IO %d\n", k, io[k])
+	}
+	return b.String(), nil
+}

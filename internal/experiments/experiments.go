@@ -1,0 +1,386 @@
+// Package experiments reproduces every table and figure of Section VI.
+// Each Run* function computes the raw data; the Format* helpers print it the
+// way the paper reports it. cmd/experiments and the repository-level
+// benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/minio"
+	"repro/internal/profile"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+// MemoryComparison is the raw data behind Table I / Figure 5 (assembly
+// trees) and Table II / Figure 9 (random-weight trees).
+type MemoryComparison struct {
+	Names     []string
+	PostOrder []int64
+	Optimal   []int64
+}
+
+// RunMemoryComparison computes the best-postorder and optimal memory for
+// every instance.
+func RunMemoryComparison(insts []dataset.Instance) MemoryComparison {
+	mc := MemoryComparison{}
+	for _, inst := range insts {
+		po := traversal.BestPostOrder(inst.Tree)
+		opt := traversal.MinMem(inst.Tree)
+		mc.Names = append(mc.Names, inst.Name)
+		mc.PostOrder = append(mc.PostOrder, po.Memory)
+		mc.Optimal = append(mc.Optimal, opt.Memory)
+	}
+	return mc
+}
+
+// Stats summarizes a comparison the way Tables I and II do.
+type Stats struct {
+	Cases           int
+	NonOptimal      int
+	FractionNonOpt  float64
+	MaxRatio        float64
+	MeanRatio       float64
+	StdDevRatio     float64
+	MeanRatioNonOpt float64 // mean over the non-optimal cases only
+	WorstInstance   string
+}
+
+// Stats computes the summary.
+func (mc MemoryComparison) Stats() Stats {
+	st := Stats{Cases: len(mc.PostOrder), MaxRatio: 1}
+	if st.Cases == 0 {
+		return st
+	}
+	var sum, sumNon float64
+	ratios := make([]float64, st.Cases)
+	for i := range mc.PostOrder {
+		r := float64(mc.PostOrder[i]) / float64(mc.Optimal[i])
+		ratios[i] = r
+		sum += r
+		if mc.PostOrder[i] > mc.Optimal[i] {
+			st.NonOptimal++
+			sumNon += r
+		}
+		if r > st.MaxRatio {
+			st.MaxRatio = r
+			st.WorstInstance = mc.Names[i]
+		}
+	}
+	st.FractionNonOpt = float64(st.NonOptimal) / float64(st.Cases)
+	st.MeanRatio = sum / float64(st.Cases)
+	var v float64
+	for _, r := range ratios {
+		v += (r - st.MeanRatio) * (r - st.MeanRatio)
+	}
+	st.StdDevRatio = math.Sqrt(v / float64(st.Cases))
+	if st.NonOptimal > 0 {
+		st.MeanRatioNonOpt = sumNon / float64(st.NonOptimal)
+	}
+	return st
+}
+
+// Profile returns Figure 5/9-style curves (PostOrder vs Optimal). When
+// nonOptimalOnly is set, instances where PostOrder is optimal are dropped,
+// matching Figure 5's framing.
+func (mc MemoryComparison) Profile(nonOptimalOnly bool) ([]profile.Curve, error) {
+	var po, opt []float64
+	for i := range mc.PostOrder {
+		if nonOptimalOnly && mc.PostOrder[i] == mc.Optimal[i] {
+			continue
+		}
+		po = append(po, float64(mc.PostOrder[i]))
+		opt = append(opt, float64(mc.Optimal[i]))
+	}
+	if len(po) == 0 {
+		// All optimal: degenerate but valid single-point profile.
+		po, opt = []float64{1}, []float64{1}
+	}
+	return profile.Compute(profile.Table{
+		Methods: []string{"Optimal", "PostOrder"},
+		Costs:   [][]float64{opt, po},
+	})
+}
+
+// FormatStats renders a Table I / Table II block.
+func FormatStats(title string, st Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  Test cases                              %d\n", st.Cases)
+	fmt.Fprintf(&b, "  Non optimal PostOrder traversals        %.1f%% (%d)\n", 100*st.FractionNonOpt, st.NonOptimal)
+	fmt.Fprintf(&b, "  Max. PostOrder to opt. cost ratio       %.2f\n", st.MaxRatio)
+	fmt.Fprintf(&b, "  Avg. PostOrder to opt. cost ratio       %.2f\n", st.MeanRatio)
+	fmt.Fprintf(&b, "  Std. dev. of cost ratio                 %.2f\n", st.StdDevRatio)
+	if st.WorstInstance != "" {
+		fmt.Fprintf(&b, "  Worst instance                          %s\n", st.WorstInstance)
+	}
+	return b.String()
+}
+
+// TimingResult is the raw data behind Figure 6.
+type TimingResult struct {
+	Names   []string
+	Seconds map[string][]float64 // algorithm → per-instance wall time
+}
+
+// TimingAlgorithms is the display order of Figure 6.
+var TimingAlgorithms = []string{"MinMem", "PostOrder", "Liu"}
+
+// RunTimings measures the wall-clock time of the three MinMemory algorithms
+// on every instance (one run each; the algorithms are deterministic).
+func RunTimings(insts []dataset.Instance) TimingResult {
+	tr := TimingResult{Seconds: map[string][]float64{}}
+	run := func(name string, f func(t *tree.Tree) traversal.Result, t *tree.Tree) {
+		start := time.Now()
+		res := f(t)
+		elapsed := time.Since(start).Seconds()
+		_ = res
+		tr.Seconds[name] = append(tr.Seconds[name], elapsed)
+	}
+	for _, inst := range insts {
+		tr.Names = append(tr.Names, inst.Name)
+		run("MinMem", traversal.MinMem, inst.Tree)
+		run("PostOrder", traversal.BestPostOrder, inst.Tree)
+		run("Liu", traversal.LiuExact, inst.Tree)
+	}
+	return tr
+}
+
+// Profile returns Figure 6-style runtime curves.
+func (tr TimingResult) Profile() ([]profile.Curve, error) {
+	costs := make([][]float64, len(TimingAlgorithms))
+	for i, alg := range TimingAlgorithms {
+		costs[i] = tr.Seconds[alg]
+	}
+	return profile.Compute(profile.Table{Methods: TimingAlgorithms, Costs: costs})
+}
+
+// FastestCounts reports how often each algorithm was the (possibly tied)
+// fastest, Figure 6's headline number.
+func (tr TimingResult) FastestCounts() map[string]int {
+	out := map[string]int{}
+	n := len(tr.Names)
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for _, alg := range TimingAlgorithms {
+			if tr.Seconds[alg][i] < best {
+				best = tr.Seconds[alg][i]
+			}
+		}
+		for _, alg := range TimingAlgorithms {
+			if tr.Seconds[alg][i] <= best*1.0000001 {
+				out[alg]++
+			}
+		}
+	}
+	return out
+}
+
+// MemoryFractions are the points of the out-of-core memory sweep: the
+// available memory interpolates between max MemReq (fraction 0) and the
+// in-core optimal (fraction 1), as in Section VI-D.
+var MemoryFractions = []float64{0, 1.0 / 3, 2.0 / 3}
+
+// sweepMemories returns the memory values for one tree, deduplicated.
+func sweepMemories(t *tree.Tree) []int64 {
+	lo := t.MaxMemReq()
+	hi := traversal.MinMem(t).Memory
+	var out []int64
+	for _, f := range MemoryFractions {
+		m := lo + int64(f*float64(hi-lo))
+		if len(out) == 0 || out[len(out)-1] != m {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// HeuristicResult is the raw data behind Figure 7: I/O volume of every
+// eviction policy on the same traversals.
+type HeuristicResult struct {
+	Cases  []string
+	Volume map[minio.Policy][]float64
+}
+
+// RunHeuristics reproduces Figure 7: traversals from MinMem (the paper's
+// choice for this figure), every eviction policy, across the memory sweep.
+func RunHeuristics(insts []dataset.Instance) (HeuristicResult, error) {
+	hr := HeuristicResult{Volume: map[minio.Policy][]float64{}}
+	for _, inst := range insts {
+		order := traversal.MinMem(inst.Tree).Order
+		for _, m := range sweepMemories(inst.Tree) {
+			hr.Cases = append(hr.Cases, fmt.Sprintf("%s@%d", inst.Name, m))
+			for _, pol := range minio.Policies {
+				sim, err := minio.Simulate(inst.Tree, order, m, pol)
+				if err != nil {
+					return hr, fmt.Errorf("experiments: %s M=%d %v: %w", inst.Name, m, pol, err)
+				}
+				hr.Volume[pol] = append(hr.Volume[pol], float64(sim.IO))
+			}
+		}
+	}
+	return hr, nil
+}
+
+// Profile returns Figure 7-style curves.
+func (hr HeuristicResult) Profile() ([]profile.Curve, error) {
+	methods := make([]string, len(minio.Policies))
+	costs := make([][]float64, len(minio.Policies))
+	for i, pol := range minio.Policies {
+		methods[i] = "MinMem + " + pol.String()
+		costs[i] = hr.Volume[pol]
+	}
+	return profile.Compute(profile.Table{Methods: methods, Costs: costs})
+}
+
+// TraversalIOResult is the raw data behind Figure 8: the three traversal
+// algorithms under the First Fit policy.
+type TraversalIOResult struct {
+	Cases  []string
+	Volume map[string][]float64
+}
+
+// TraversalAlgorithms is the display order of Figure 8.
+var TraversalAlgorithms = []string{"PostOrder + First Fit", "Liu + First Fit", "MinMem + First Fit"}
+
+// RunTraversalIO reproduces Figure 8.
+func RunTraversalIO(insts []dataset.Instance) (TraversalIOResult, error) {
+	tio := TraversalIOResult{Volume: map[string][]float64{}}
+	for _, inst := range insts {
+		orders := map[string][]int{
+			"PostOrder + First Fit": traversal.BestPostOrder(inst.Tree).Order,
+			"Liu + First Fit":       traversal.LiuExact(inst.Tree).Order,
+			"MinMem + First Fit":    traversal.MinMem(inst.Tree).Order,
+		}
+		for _, m := range sweepMemories(inst.Tree) {
+			tio.Cases = append(tio.Cases, fmt.Sprintf("%s@%d", inst.Name, m))
+			for name, order := range orders {
+				sim, err := minio.Simulate(inst.Tree, order, m, minio.FirstFit)
+				if err != nil {
+					return tio, fmt.Errorf("experiments: %s M=%d %s: %w", inst.Name, m, name, err)
+				}
+				tio.Volume[name] = append(tio.Volume[name], float64(sim.IO))
+			}
+		}
+	}
+	return tio, nil
+}
+
+// Profile returns Figure 8-style curves.
+func (tio TraversalIOResult) Profile() ([]profile.Curve, error) {
+	costs := make([][]float64, len(TraversalAlgorithms))
+	for i, name := range TraversalAlgorithms {
+		costs[i] = tio.Volume[name]
+	}
+	return profile.Compute(profile.Table{Methods: TraversalAlgorithms, Costs: costs})
+}
+
+// Theorem1Row is one line of the Theorem 1 demonstration: the nested
+// harpoon at a given depth with the closed-form and measured memories.
+type Theorem1Row struct {
+	Levels             int
+	Nodes              int
+	PostOrder, Optimal int64
+	WantPO, WantOpt    int64
+	Ratio              float64
+}
+
+// RunTheorem1 builds nested harpoons of growing depth and checks the
+// algorithms against the closed forms of the proof.
+func RunTheorem1(b int, maxLevels int, m, eps int64) ([]Theorem1Row, error) {
+	var rows []Theorem1Row
+	for l := 1; l <= maxLevels; l++ {
+		h, err := tree.NestedHarpoon(b, l, m, eps)
+		if err != nil {
+			return nil, err
+		}
+		po := traversal.BestPostOrder(h).Memory
+		opt := traversal.MinMem(h).Memory
+		rows = append(rows, Theorem1Row{
+			Levels:    l,
+			Nodes:     h.Len(),
+			PostOrder: po,
+			Optimal:   opt,
+			WantPO:    tree.HarpoonPostOrderMemory(b, l, m, eps),
+			WantOpt:   tree.HarpoonOptimalMemory(b, l, m, eps),
+			Ratio:     float64(po) / float64(opt),
+		})
+	}
+	return rows, nil
+}
+
+// Theorem2Row is one verification of the NP-hardness reduction.
+type Theorem2Row struct {
+	Items      []int64
+	Solvable   bool
+	MinIO      int64
+	Bound      int64
+	Consistent bool
+}
+
+// RunTheorem2 draws even-sum 2-Partition instances deterministically and
+// checks that the reduction tree has MinIO ≤ S/2 exactly when the instance
+// is solvable.
+func RunTheorem2(cases int) ([]Theorem2Row, error) {
+	rng := newDeterministicRand(2011)
+	var rows []Theorem2Row
+	for len(rows) < cases {
+		n := 2 + rng.Intn(4)
+		a := make([]int64, n)
+		var sum int64
+		for i := range a {
+			a[i] = 1 + int64(rng.Intn(9))
+			sum += a[i]
+		}
+		if sum%2 != 0 {
+			continue
+		}
+		inst, err := tree.NewTwoPartition(a)
+		if err != nil {
+			return nil, err
+		}
+		io, err := minio.BruteForceMinIO(inst.Tree, inst.Memory)
+		if err != nil {
+			return nil, err
+		}
+		solvable := minio.SolveTwoPartition(a)
+		rows = append(rows, Theorem2Row{
+			Items:      a,
+			Solvable:   solvable,
+			MinIO:      io,
+			Bound:      inst.IOBound,
+			Consistent: solvable == (io <= inst.IOBound),
+		})
+	}
+	return rows, nil
+}
+
+// FormatCurveSummaries prints, for each profile curve, the fraction of
+// cases where the method was best (τ=1), within 10% (τ=1.1), and its mean
+// ratio — the numbers one reads off Figures 5–9.
+func FormatCurveSummaries(curves []profile.Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-26s %8s %8s %8s %8s\n", "method", "best", "τ≤1.1", "mean", "max")
+	for _, c := range curves {
+		st := profile.Summarize(c)
+		fmt.Fprintf(&b, "  %-26s %7.1f%% %7.1f%% %8.3f %8.3f\n",
+			c.Method, 100*c.Fraction(1), 100*c.Fraction(1.1), st.Mean, st.Max)
+	}
+	return b.String()
+}
+
+// SortedNames returns the instance names sorted, for stable output.
+func SortedNames(insts []dataset.Instance) []string {
+	names := make([]string, len(insts))
+	for i, inst := range insts {
+		names[i] = inst.Name
+	}
+	sort.Strings(names)
+	return names
+}

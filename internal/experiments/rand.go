@@ -1,0 +1,10 @@
+package experiments
+
+import "math/rand"
+
+// newDeterministicRand returns a seeded PRNG; isolated here so every
+// experiment draws from an explicitly seeded source (reproducibility is a
+// requirement for regenerating the tables).
+func newDeterministicRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,201 @@
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+func TestSupernodalSolvesGrid(t *testing.T) {
+	g, err := sparse.Grid2D(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := ordering.MinimumDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := g.Permute(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := laplacianOf(t, pg)
+	chol, st, err := SupernodalMultifrontal(a, SupernodalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supernodes >= pg.N() {
+		t.Fatalf("no amalgamation happened: %d supernodes for n=%d", st.Supernodes, pg.N())
+	}
+	if st.MaxFront < 2 {
+		t.Fatalf("implausible max front %d", st.MaxFront)
+	}
+	b := make([]float64, pg.N())
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	x, err := chol.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Residual(a, x, b); res > 1e-9 {
+		t.Fatalf("residual %g too large", res)
+	}
+}
+
+// Supernodal and column-wise factorizations must produce the same factor.
+func TestSupernodalMatchesColumnwise(t *testing.T) {
+	g, err := sparse.Grid2D(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := laplacianOf(t, g)
+	colChol, _, err := Multifrontal(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	supChol, _, err := SupernodalMultifrontal(a, SupernodalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < g.N(); j++ {
+		cr, sr := colChol.colRow[j], supChol.colRow[j]
+		if len(cr) != len(sr) {
+			t.Fatalf("column %d: %d vs %d rows", j, len(cr), len(sr))
+		}
+		for k := range cr {
+			if cr[k] != sr[k] {
+				t.Fatalf("column %d row %d: index %d vs %d", j, k, cr[k], sr[k])
+			}
+			if math.Abs(colChol.colVal[j][k]-supChol.colVal[j][k]) > 1e-10 {
+				t.Fatalf("column %d row %d: value %g vs %g", j, k,
+					colChol.colVal[j][k], supChol.colVal[j][k])
+			}
+		}
+	}
+}
+
+// The measured peak equals the model on the weighted assembly tree — now
+// with supernodes of η > 1 — for the default and the MinMem traversals.
+func TestSupernodalPeakEqualsAssemblyModel(t *testing.T) {
+	g, err := sparse.Grid3D(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := ordering.NestedDissection(g, ordering.NestedDissectionOptions{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := g.Permute(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := laplacianOf(t, pg)
+	// Default postorder traversal.
+	_, st, err := SupernodalMultifrontal(a, SupernodalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakLive != st.ModelPeak {
+		t.Fatalf("default: measured %d != model %d", st.PeakLive, st.ModelPeak)
+	}
+	// MinMem-optimal traversal of the assembly tree.
+	asm, err := symbolic.AssemblyTree(pg, symbolic.AssemblyOptions{Relax: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := traversal.MinMem(asm.Tree)
+	order := tree.ReverseOrder(opt.Order)
+	_, st2, err := SupernodalMultifrontal(a, SupernodalOptions{Order: order})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.PeakLive != st2.ModelPeak {
+		t.Fatalf("minmem: measured %d != model %d", st2.PeakLive, st2.ModelPeak)
+	}
+	if st2.PeakLive != opt.Memory {
+		t.Fatalf("minmem: measured %d != promised optimum %d", st2.PeakLive, opt.Memory)
+	}
+	if st2.PeakLive > st.PeakLive {
+		t.Fatalf("optimal traversal used more memory (%d) than postorder (%d)", st2.PeakLive, st.PeakLive)
+	}
+	t.Logf("supernodal peaks: postorder %d, minmem %d (supernodes %d, max front %d)",
+		st.PeakLive, st2.PeakLive, st.Supernodes, st.MaxFront)
+}
+
+func TestSupernodalErrors(t *testing.T) {
+	// Disconnected matrix: rejected (needs a single etree root).
+	m, err := sparse.New(2, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Laplacian(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SupernodalMultifrontal(a, SupernodalOptions{}); err == nil {
+		t.Fatal("disconnected matrix accepted")
+	}
+	// Bad order.
+	g, err := sparse.Grid2D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := laplacianOf(t, g)
+	if _, _, err := SupernodalMultifrontal(ga, SupernodalOptions{Order: []int{0}}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	// Indefinite.
+	bad := &SPD{Pattern: ga.Pattern, Values: append([]float64(nil), ga.Values...)}
+	bad.Values[0] = -1 // first stored entry of column 0 is the diagonal? ensure indefiniteness
+	for k := range bad.Values {
+		bad.Values[k] = -math.Abs(bad.Values[k])
+	}
+	if _, _, err := SupernodalMultifrontal(bad, SupernodalOptions{}); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+// Property: supernodal factorization is accurate and model-exact on random
+// connected SPD systems.
+func TestQuickSupernodalAccuracy(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(67))}
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 4 + int(nRaw%40)
+		rng := rand.New(rand.NewSource(seed))
+		raw, err := sparse.RandomSymmetric(rng, n, 2)
+		if err != nil {
+			return false
+		}
+		a, err := Laplacian(raw.Symmetrize())
+		if err != nil {
+			return false
+		}
+		chol, st, err := SupernodalMultifrontal(a, SupernodalOptions{})
+		if err != nil {
+			return false
+		}
+		if st.PeakLive != st.ModelPeak {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := chol.Solve(b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-8*math.Max(1, float64(n))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

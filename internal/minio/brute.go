@@ -1,0 +1,233 @@
+package minio
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/tree"
+)
+
+// BruteForceLimit bounds the tree size accepted by the exact solvers:
+// states encode the frontier and the on-disk subset as bit masks.
+const BruteForceLimit = 24
+
+// ioState is a search state: the frontier (scheduled, unprocessed nodes)
+// and which of their files currently live on disk.
+type ioState struct {
+	frontier uint64
+	onDisk   uint64
+}
+
+type ioItem struct {
+	st   ioState
+	cost int64
+}
+
+type ioHeap []ioItem
+
+func (h ioHeap) Len() int            { return len(h) }
+func (h ioHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h ioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ioHeap) Push(x interface{}) { *h = append(*h, x.(ioItem)) }
+func (h *ioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BruteForceMinIO solves MinIO exactly over all traversals and all I/O
+// schedules by a Dijkstra search: writing a file costs its size, executing
+// a ready node costs nothing and is allowed when memory suffices. It is the
+// ground-truth oracle for the NP-hard problem on small trees; it returns an
+// error when the tree is too large or when even full eviction cannot
+// execute some node (m < MaxMemReq).
+func BruteForceMinIO(t *tree.Tree, m int64) (int64, error) {
+	p := t.Len()
+	if p > BruteForceLimit {
+		return 0, fmt.Errorf("minio: brute force limited to %d nodes, got %d", BruteForceLimit, p)
+	}
+	if req := t.MaxMemReq(); req > m {
+		return 0, fmt.Errorf("minio: no schedule exists, MaxMemReq %d > M %d", req, m)
+	}
+	childMask := make([]uint64, p)
+	childSum := make([]int64, p)
+	for i := 0; i < p; i++ {
+		for k := 0; k < t.NumChildren(i); k++ {
+			c := t.Child(i, k)
+			childMask[i] |= uint64(1) << uint(c)
+			childSum[i] += t.F(c)
+		}
+	}
+	residentSum := func(st ioState) int64 {
+		var s int64
+		rem := st.frontier &^ st.onDisk
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			s += t.F(i)
+		}
+		return s
+	}
+	start := ioState{frontier: uint64(1) << uint(t.Root())}
+	best := map[ioState]int64{start: 0}
+	pq := &ioHeap{{start, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(ioItem)
+		if it.cost > best[it.st] {
+			continue
+		}
+		if it.st.frontier == 0 {
+			return it.cost, nil
+		}
+		res := residentSum(it.st)
+		relax := func(ns ioState, nc int64) {
+			if old, ok := best[ns]; !ok || nc < old {
+				best[ns] = nc
+				heap.Push(pq, ioItem{ns, nc})
+			}
+		}
+		// Transition 1: write a resident file to disk.
+		rem := it.st.frontier &^ it.st.onDisk
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if t.F(i) == 0 {
+				continue // free to write but also useless
+			}
+			ns := it.st
+			ns.onDisk |= uint64(1) << uint(i)
+			relax(ns, it.cost+t.F(i))
+		}
+		// Transition 2: execute a frontier node (reading its file back
+		// first if needed). Memory during execution: the other resident
+		// files plus MemReq(i).
+		rem = it.st.frontier
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			bit := uint64(1) << uint(i)
+			others := res
+			if it.st.onDisk&bit == 0 {
+				others -= t.F(i)
+			}
+			if others+t.MemReq(i) > m {
+				continue
+			}
+			ns := ioState{
+				frontier: it.st.frontier&^bit | childMask[i],
+				onDisk:   it.st.onDisk &^ bit,
+			}
+			relax(ns, it.cost)
+		}
+	}
+	return 0, fmt.Errorf("minio: exhausted search without completing (unreachable)")
+}
+
+// BruteForceMinIOFixedOrder solves problem (i) of Theorem 2 exactly: given
+// a fixed traversal, find the minimum I/O volume over all write schedules.
+// The search is over (step, on-disk subset) states.
+func BruteForceMinIOFixedOrder(t *tree.Tree, order []int, m int64) (int64, error) {
+	p := t.Len()
+	if p > BruteForceLimit {
+		return 0, fmt.Errorf("minio: brute force limited to %d nodes, got %d", BruteForceLimit, p)
+	}
+	if err := t.IsTopDownOrder(order); err != nil {
+		return 0, err
+	}
+	if req := t.MaxMemReq(); req > m {
+		return 0, fmt.Errorf("minio: no schedule exists, MaxMemReq %d > M %d", req, m)
+	}
+	childMask := make([]uint64, p)
+	for i := 0; i < p; i++ {
+		for k := 0; k < t.NumChildren(i); k++ {
+			childMask[i] |= uint64(1) << uint(t.Child(i, k))
+		}
+	}
+	// frontierAt[s]: frontier before executing order[s].
+	frontierAt := make([]uint64, p+1)
+	frontierAt[0] = uint64(1) << uint(t.Root())
+	for s, v := range order {
+		frontierAt[s+1] = frontierAt[s]&^(uint64(1)<<uint(v)) | childMask[v]
+	}
+	sumMask := func(mask uint64) int64 {
+		var s int64
+		for mask != 0 {
+			i := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			s += t.F(i)
+		}
+		return s
+	}
+	start := fixedState{0, 0}
+	best := map[fixedState]int64{start: 0}
+	var pq fixedHeap
+	heap.Push(&pq, fixedItem{start, 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(fixedItem)
+		if it.cost > best[it.st] {
+			continue
+		}
+		if it.st.step == p {
+			return it.cost, nil
+		}
+		j := order[it.st.step]
+		bit := uint64(1) << uint(j)
+		resident := frontierAt[it.st.step] &^ it.st.onDisk
+		res := sumMask(resident)
+		relax := func(ns fixedState, nc int64) {
+			if old, ok := best[ns]; !ok || nc < old {
+				best[ns] = nc
+				heap.Push(&pq, fixedItem{ns, nc})
+			}
+		}
+		// Write any resident file.
+		rem := resident
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if t.F(i) == 0 {
+				continue
+			}
+			ns := it.st
+			ns.onDisk |= uint64(1) << uint(i)
+			relax(ns, it.cost+t.F(i))
+		}
+		// Execute order[step].
+		others := res
+		if it.st.onDisk&bit == 0 {
+			others -= t.F(j)
+		}
+		if others+t.MemReq(j) <= m {
+			relax(fixedState{it.st.step + 1, it.st.onDisk &^ bit}, it.cost)
+		}
+	}
+	return 0, fmt.Errorf("minio: fixed-order search exhausted (unreachable for M ≥ MaxMemReq)")
+}
+
+// fixedState is a (step, on-disk subset) state of the fixed-order search.
+type fixedState struct {
+	step   int
+	onDisk uint64
+}
+
+type fixedItem struct {
+	st   fixedState
+	cost int64
+}
+
+type fixedHeap []fixedItem
+
+func (h fixedHeap) Len() int            { return len(h) }
+func (h fixedHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h fixedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fixedHeap) Push(x interface{}) { *h = append(*h, x.(fixedItem)) }
+func (h *fixedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

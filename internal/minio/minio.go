@@ -1,0 +1,210 @@
+// Package minio implements the MinIO side of the paper: out-of-core
+// traversals (Section V). Given a fixed main memory M smaller than what an
+// in-core traversal needs, files must temporarily be written to secondary
+// memory; the I/O volume is the total size of files written (each written
+// file is read back exactly once, so reads mirror writes).
+//
+// MinIO is NP-hard — Theorem 2 proves it via a reduction from 2-Partition,
+// reproduced here by tree.NewTwoPartition and verified in the tests against
+// the exact solver — so the package provides the paper's six greedy
+// eviction heuristics (Section V-B) plus exact brute-force oracles for
+// small instances and a divisible-case lower bound.
+package minio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Policy selects the greedy eviction heuristic of Section V-B. All policies
+// examine the set S of produced, still-resident files ordered by the time
+// their consumer is scheduled, latest first.
+type Policy int
+
+const (
+	// LSNF (Last Scheduled Node First) evicts files in S order until enough
+	// space is freed. Optimal for the divisible relaxation of MinIO.
+	LSNF Policy = iota
+	// FirstFit evicts the first file in S at least as large as the
+	// requirement; if none exists it falls back to LSNF.
+	FirstFit
+	// BestFit repeatedly evicts the file whose size is closest to the
+	// remaining requirement (above or below).
+	BestFit
+	// FirstFill repeatedly evicts the first file in S smaller than the
+	// remaining requirement; if none exists it falls back to LSNF.
+	FirstFill
+	// BestFill repeatedly evicts the largest file strictly smaller than the
+	// remaining requirement; if none exists it falls back to LSNF.
+	BestFill
+	// BestKCombination considers the first K files of S (K = 5, as in the
+	// paper) and evicts the non-empty subset whose total size is closest to
+	// the remaining requirement, repeating until enough space is freed.
+	BestKCombination
+)
+
+// BestKWindow is the K of BestKCombination.
+const BestKWindow = 5
+
+// Policies lists all heuristics in display order.
+var Policies = []Policy{LSNF, FirstFit, BestFit, FirstFill, BestFill, BestKCombination}
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case LSNF:
+		return "LSNF"
+	case FirstFit:
+		return "First Fit"
+	case BestFit:
+		return "Best Fit"
+	case FirstFill:
+		return "First Fill"
+	case BestFill:
+		return "Best Fill"
+	case BestKCombination:
+		return "Best K Comb."
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// WriteEvent records one eviction: before executing order[Step], the input
+// file of Node (size Size) was written to secondary memory.
+type WriteEvent struct {
+	Step int
+	Node int
+	Size int64
+}
+
+// Result is the outcome of an out-of-core simulation.
+type Result struct {
+	// IO is the total volume written to secondary memory (= volume read
+	// back), the objective of MinIO.
+	IO int64
+	// Writes lists the evictions in execution order; Tau() converts them to
+	// the τ function of Definition 3.
+	Writes []WriteEvent
+}
+
+// Tau converts the write schedule into the τ function of Definition 3:
+// tau[i] is the step before which file i is written, or -1 (∞) if file i is
+// never written. p is the number of nodes.
+func (r Result) Tau(p int) []int {
+	tau := make([]int, p)
+	for i := range tau {
+		tau[i] = -1
+	}
+	for _, w := range r.Writes {
+		tau[w.Node] = w.Step
+	}
+	return tau
+}
+
+// Simulate replays the top-down traversal `order` of t with main memory m,
+// invoking the eviction policy whenever the next node does not fit. It
+// returns the resulting I/O volume and write schedule.
+//
+// Simulation follows Section V-B: when node j is next, its input file is
+// first staged back if it was evicted, and the policy must free
+// IOReq(j) = (MemReq(j) − f_j) − M_avail units by writing resident files.
+// Zero-size files are never evicted (they free nothing and cost nothing).
+//
+// Simulate fails if order is not a valid top-down traversal or if m is too
+// small even with maximal eviction (m < MaxMemReq).
+func Simulate(t *tree.Tree, order []int, m int64, pol Policy) (Result, error) {
+	return SimulateWithWindow(t, order, m, pol, BestKWindow)
+}
+
+// SimulateWithWindow is Simulate with an explicit Best-K subset window
+// (only meaningful for BestKCombination; the paper fixes K = 5). The
+// ablation benchmarks sweep the window to show the quality/cost trade-off.
+func SimulateWithWindow(t *tree.Tree, order []int, m int64, pol Policy, window int) (Result, error) {
+	if pol < LSNF || pol > BestKCombination {
+		return Result{}, fmt.Errorf("minio: unknown eviction policy %d", int(pol))
+	}
+	if window < 1 || window > 20 {
+		return Result{}, fmt.Errorf("minio: Best-K window %d out of range [1,20]", window)
+	}
+	if err := t.IsTopDownOrder(order); err != nil {
+		return Result{}, err
+	}
+	p := t.Len()
+	pos := make([]int, p) // consumer step of each node's input file
+	for step, v := range order {
+		pos[v] = step
+	}
+	// resident holds produced, unconsumed, in-memory files sorted by
+	// consumer step descending (S of Section V-B: latest consumer first).
+	resident := newFileSet(pos)
+	resident.add(t.Root())
+	residentSum := t.F(t.Root())
+	onDisk := make([]bool, p)
+	var res Result
+	for step, j := range order {
+		if !onDisk[j] {
+			// The input file of j is resident; it is about to be consumed,
+			// so it is not an eviction candidate.
+			resident.remove(j)
+			residentSum -= t.F(j)
+		}
+		// Memory while executing j: the other resident files plus
+		// MemReq(j) = f(j) + n(j) + Σ children files (the input is staged
+		// back first when it was evicted, which needs the same room).
+		ioReq := residentSum + t.MemReq(j) - m
+		if ioReq > 0 {
+			victims, err := selectVictims(t, resident, ioReq, pol, window)
+			if err != nil {
+				return Result{}, fmt.Errorf("minio: step %d (node %d): %w", step, j, err)
+			}
+			for _, v := range victims {
+				resident.remove(v)
+				residentSum -= t.F(v)
+				onDisk[v] = true
+				res.IO += t.F(v)
+				res.Writes = append(res.Writes, WriteEvent{Step: step, Node: v, Size: t.F(v)})
+			}
+		}
+		if onDisk[j] {
+			onDisk[j] = false // read back, then consumed by executing j
+		}
+		// Execute j: n(j) and f(j) vanish, children files appear.
+		residentSum += t.ChildFileSum(j)
+		for k := 0; k < t.NumChildren(j); k++ {
+			resident.add(t.Child(j, k))
+		}
+		if residentSum > m {
+			return Result{}, fmt.Errorf("minio: internal accounting error at step %d", step)
+		}
+	}
+	return res, nil
+}
+
+// fileSet maintains resident files ordered by consumer step descending.
+type fileSet struct {
+	pos   []int // consumer step per node
+	nodes []int // sorted: pos[nodes[0]] > pos[nodes[1]] > …
+}
+
+func newFileSet(pos []int) *fileSet { return &fileSet{pos: pos} }
+
+func (s *fileSet) add(node int) {
+	i := sort.Search(len(s.nodes), func(k int) bool { return s.pos[s.nodes[k]] < s.pos[node] })
+	s.nodes = append(s.nodes, 0)
+	copy(s.nodes[i+1:], s.nodes[i:])
+	s.nodes[i] = node
+}
+
+func (s *fileSet) remove(node int) {
+	i := sort.Search(len(s.nodes), func(k int) bool { return s.pos[s.nodes[k]] <= s.pos[node] })
+	if i == len(s.nodes) || s.nodes[i] != node {
+		panic("minio: removing absent file")
+	}
+	s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+}
+
+// ordered returns the current S (latest consumer first). The returned slice
+// is owned by the fileSet; do not mutate.
+func (s *fileSet) ordered() []int { return s.nodes }

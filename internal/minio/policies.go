@@ -1,0 +1,182 @@
+package minio
+
+import (
+	"errors"
+
+	"repro/internal/tree"
+)
+
+// errNoSpace reports that the policy could not free the required space: the
+// memory is smaller than the node's own requirement.
+var errNoSpace = errors.New("cannot free enough memory (M below MemReq of the node)")
+
+// selectVictims applies the eviction policy to the ordered resident set and
+// returns the files to write out, freeing at least ioReq units. Zero-size
+// files are ignored throughout: writing them frees nothing.
+func selectVictims(t *tree.Tree, resident *fileSet, ioReq int64, pol Policy, window int) ([]int, error) {
+	// Snapshot S with zero-size files dropped.
+	s := make([]int, 0, len(resident.ordered()))
+	for _, v := range resident.ordered() {
+		if t.F(v) > 0 {
+			s = append(s, v)
+		}
+	}
+	var victims []int
+	take := func(idx int) {
+		victims = append(victims, s[idx])
+		ioReq -= t.F(s[idx])
+		s = append(s[:idx], s[idx+1:]...)
+	}
+	lsnf := func() error {
+		for ioReq > 0 {
+			if len(s) == 0 {
+				return errNoSpace
+			}
+			take(0)
+		}
+		return nil
+	}
+	switch pol {
+	case LSNF:
+		if err := lsnf(); err != nil {
+			return nil, err
+		}
+
+	case FirstFit:
+		// One file covering the whole requirement, searched latest-consumer
+		// first; LSNF when no single file is big enough.
+		found := false
+		for i, v := range s {
+			if t.F(v) >= ioReq {
+				take(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			if err := lsnf(); err != nil {
+				return nil, err
+			}
+		}
+
+	case BestFit:
+		// Repeatedly the file closest in size to the remaining requirement,
+		// above or below; ties go to the latest consumer.
+		for ioReq > 0 {
+			if len(s) == 0 {
+				return nil, errNoSpace
+			}
+			bi := 0
+			bd := absDiff(t.F(s[0]), ioReq)
+			for i := 1; i < len(s); i++ {
+				if d := absDiff(t.F(s[i]), ioReq); d < bd {
+					bi, bd = i, d
+				}
+			}
+			take(bi)
+		}
+
+	case FirstFill:
+		// Fill the requirement with the first files strictly smaller than
+		// it; once none is smaller, fall back to LSNF for the remainder.
+		for ioReq > 0 {
+			found := false
+			for i, v := range s {
+				if t.F(v) < ioReq {
+					take(i)
+					found = true
+					break
+				}
+			}
+			if !found {
+				if err := lsnf(); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+	case BestFill:
+		// Fill with the largest file strictly smaller than the requirement
+		// (the best "from below"); LSNF when none fits below.
+		for ioReq > 0 {
+			bi := -1
+			var bf int64 = -1
+			for i, v := range s {
+				if t.F(v) < ioReq && t.F(v) > bf {
+					bi, bf = i, t.F(v)
+				}
+			}
+			if bi < 0 {
+				if err := lsnf(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			take(bi)
+		}
+
+	case BestKCombination:
+		// Among the first K files of S, the non-empty subset whose total is
+		// closest to the requirement (ties prefer covering subsets, then
+		// fewer files); repeat until the requirement is met.
+		for ioReq > 0 {
+			if len(s) == 0 {
+				return nil, errNoSpace
+			}
+			k := len(s)
+			if k > window {
+				k = window
+			}
+			bestMask, bestTotal := 0, int64(0)
+			var bestDiff int64 = 1 << 62
+			for mask := 1; mask < 1<<k; mask++ {
+				var total int64
+				for i := 0; i < k; i++ {
+					if mask&(1<<i) != 0 {
+						total += t.F(s[i])
+					}
+				}
+				d := absDiff(total, ioReq)
+				better := d < bestDiff
+				if d == bestDiff {
+					cover, bestCover := total >= ioReq, bestTotal >= ioReq
+					if cover != bestCover {
+						better = cover
+					} else if popcount(mask) < popcount(bestMask) {
+						better = true
+					}
+				}
+				if better {
+					bestMask, bestTotal, bestDiff = mask, total, d
+				}
+			}
+			// Take from the highest index down so earlier removals do not
+			// shift pending ones.
+			for i := k - 1; i >= 0; i-- {
+				if bestMask&(1<<i) != 0 {
+					take(i)
+				}
+			}
+		}
+
+	default:
+		return nil, errors.New("unknown eviction policy")
+	}
+	return victims, nil
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func popcount(m int) int {
+	c := 0
+	for m != 0 {
+		m &= m - 1
+		c++
+	}
+	return c
+}

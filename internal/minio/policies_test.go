@@ -1,0 +1,171 @@
+package minio
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// policyScenario builds a star workflow engineered so that, at the moment
+// node X executes, the resident set S (ordered latest-consumer-first) is
+// exactly `files` and the policy must free exactly `need` units.
+//
+//	root(f=0) ── children: C_k (f = files[k]), X (f = fx)
+//	X ── child Y (f = fy)
+//
+// The traversal is root, X, Y, C_{len-1}, …, C_0, so S = files in order.
+// Memory is chosen as Σfiles + fx + fy − need.
+type policyScenario struct {
+	files []int64
+	need  int64
+	fx    int64
+	fy    int64
+}
+
+func (sc policyScenario) run(t *testing.T, pol Policy) int64 {
+	t.Helper()
+	var sum int64
+	for _, f := range sc.files {
+		sum += f
+	}
+	parent := []int{tree.NoParent}
+	f := []int64{0}
+	n := []int64{0}
+	for _, size := range sc.files {
+		parent = append(parent, 0)
+		f = append(f, size)
+		n = append(n, 0)
+	}
+	x := len(parent)
+	parent = append(parent, 0)
+	f = append(f, sc.fx)
+	n = append(n, 0)
+	y := len(parent)
+	parent = append(parent, x)
+	f = append(f, sc.fy)
+	n = append(n, 0)
+	tr, err := tree.New(parent, f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sum + sc.fx + sc.fy - sc.need
+	if req := tr.MaxMemReq(); req > m {
+		t.Fatalf("scenario infeasible: MaxMemReq %d > M %d", req, m)
+	}
+	order := []int{0, x, y}
+	for k := len(sc.files); k >= 1; k-- {
+		order = append(order, k)
+	}
+	sim, err := Simulate(tr, order, m, pol)
+	if err != nil {
+		t.Fatalf("%v: %v", pol, err)
+	}
+	// Cross-check against the Algorithm 2 checker.
+	io, err := CheckOutOfCore(tr, order, sim.Tau(tr.Len()), m)
+	if err != nil || io != sim.IO {
+		t.Fatalf("%v: checker disagrees (io=%d err=%v)", pol, io, err)
+	}
+	return sim.IO
+}
+
+// S = [3, 7, 10], need 7: the fit policies find the exact file, the fill
+// policies waste.
+func TestPoliciesExactFitScenario(t *testing.T) {
+	sc := policyScenario{files: []int64{3, 7, 10}, need: 7, fx: 2, fy: 11}
+	want := map[Policy]int64{
+		LSNF:             10, // 3 then 7
+		FirstFit:         7,
+		BestFit:          7,
+		FirstFill:        10, // 3, stuck, LSNF tail evicts 7
+		BestFill:         10,
+		BestKCombination: 7,
+	}
+	for pol, w := range want {
+		if got := sc.run(t, pol); got != w {
+			t.Errorf("%v: IO = %d, want %d", pol, got, w)
+		}
+	}
+}
+
+// S = [8, 5, 4], need 4: only the "closest" policies pick the small file.
+func TestPoliciesBestFitWinsScenario(t *testing.T) {
+	sc := policyScenario{files: []int64{8, 5, 4}, need: 4, fx: 2, fy: 9}
+	want := map[Policy]int64{
+		LSNF:             8,
+		FirstFit:         8, // first file ≥ 4 in S order
+		BestFit:          4,
+		FirstFill:        8, // nothing < 4: LSNF fallback
+		BestFill:         8,
+		BestKCombination: 4,
+	}
+	for pol, w := range want {
+		if got := sc.run(t, pol); got != w {
+			t.Errorf("%v: IO = %d, want %d", pol, got, w)
+		}
+	}
+}
+
+// S = [2, 6, 5], need 6: First Fill and Best Fill part ways.
+func TestPoliciesFillScenario(t *testing.T) {
+	sc := policyScenario{files: []int64{2, 6, 5}, need: 6, fx: 1, fy: 10}
+	want := map[Policy]int64{
+		LSNF:             8, // 2 then 6
+		FirstFit:         6,
+		BestFit:          6,
+		FirstFill:        8, // 2, stuck, LSNF evicts 6
+		BestFill:         7, // 5, stuck, LSNF evicts 2
+		BestKCombination: 6,
+	}
+	for pol, w := range want {
+		if got := sc.run(t, pol); got != w {
+			t.Errorf("%v: IO = %d, want %d", pol, got, w)
+		}
+	}
+}
+
+// S = [5, 4, 7], need 9: only the subset policy finds the exact pair.
+func TestPoliciesCombinationScenario(t *testing.T) {
+	sc := policyScenario{files: []int64{5, 4, 7}, need: 9, fx: 2, fy: 12}
+	want := map[Policy]int64{
+		LSNF:             9,  // 5 + 4
+		FirstFit:         9,  // nothing ≥ 9: LSNF fallback
+		BestFit:          11, // 7 then 4
+		FirstFill:        9,  // 5 then 4
+		BestFill:         12, // 7, stuck (nothing < 2), LSNF evicts 5
+		BestKCombination: 9,  // the exact pair {5, 4}
+	}
+	for pol, w := range want {
+		if got := sc.run(t, pol); got != w {
+			t.Errorf("%v: IO = %d, want %d", pol, got, w)
+		}
+	}
+}
+
+// Zero-size files are never evicted and never block the policies.
+func TestPoliciesIgnoreZeroFiles(t *testing.T) {
+	sc := policyScenario{files: []int64{0, 6, 0, 5}, need: 5, fx: 1, fy: 9}
+	for _, pol := range Policies {
+		got := sc.run(t, pol)
+		if got < 5 {
+			t.Errorf("%v: IO = %d below the requirement", pol, got)
+		}
+		if got > 11 {
+			t.Errorf("%v: IO = %d exceeds both positive files", pol, got)
+		}
+	}
+}
+
+// The Best-K window: with more than K resident files the subset search
+// only sees the first K, so a perfect fit beyond the window is missed.
+func TestBestKWindowLimitsSearch(t *testing.T) {
+	// Six distractor files of size 2 occupy the window; the exact fit 9 is
+	// the 7th entry in S.
+	files := []int64{2, 2, 2, 2, 2, 2, 9}
+	sc := policyScenario{files: files, need: 9, fx: 1, fy: 20}
+	got := sc.run(t, BestKCombination)
+	// Window sees five 2s: best subset {2,2,2,2} (total 8 < 9, diff 1) vs
+	// {2,2,2,2,2}=10 (diff 1, covers) → prefers the covering subset, IO 10.
+	if got != 10 {
+		t.Fatalf("BestK with window: IO = %d, want 10 (exact fit outside window)", got)
+	}
+}

@@ -1,0 +1,32 @@
+package minio
+
+// SolveTwoPartition decides whether the positive integers a can be split
+// into two halves of equal sum, using a subset-sum bitset sweep. It is the
+// independent oracle against which the Theorem 2 reduction is verified.
+func SolveTwoPartition(a []int64) bool {
+	var sum int64
+	for _, v := range a {
+		if v <= 0 {
+			return false
+		}
+		sum += v
+	}
+	if sum%2 != 0 {
+		return false
+	}
+	target := sum / 2
+	// reachable[s] after processing a prefix: some subset sums to s.
+	reachable := make([]bool, target+1)
+	reachable[0] = true
+	for _, v := range a {
+		if v > target {
+			continue
+		}
+		for s := target; s >= v; s-- {
+			if reachable[s-v] {
+				reachable[s] = true
+			}
+		}
+	}
+	return reachable[target]
+}

@@ -1,0 +1,94 @@
+// Package pebble connects the paper's model to the classical pebble games
+// of Section II-B: the Sethi–Ullman register count (the unit-cost pebble
+// game with replacement, the simplest MinMemory instance) and the unit-size
+// I/O pebble game of Hong and Kung (the polynomial special case of MinIO).
+package pebble
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/minio"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+// SethiUllmanNumber computes the minimum number of registers (pebbles with
+// replacement) needed to evaluate the expression tree given by the parent
+// vector: the classic Sethi–Ullman labeling generalized to arbitrary arity.
+//
+// label(leaf) = 1; for an internal node with children labels l₁ ≥ l₂ ≥ …,
+// label = max(k, max_i (l_i + i)) with i counting 0-based earlier-held
+// results and k the number of children (all operand registers are live at
+// the combining step; the result then reuses one of them).
+//
+// It equals MinMem on the unit-file replacement-model transform of the same
+// tree (tree.FromReplacementModel), which the tests verify.
+func SethiUllmanNumber(parent []int) (int64, error) {
+	shape, err := tree.New(parent, unitVector(len(parent)), make([]int64, len(parent)))
+	if err != nil {
+		return 0, err
+	}
+	labels := make([]int64, shape.Len())
+	var kids []int
+	for _, v := range shape.Postorder() {
+		kids = shape.Children(v, kids[:0])
+		if len(kids) == 0 {
+			labels[v] = 1
+			continue
+		}
+		ls := make([]int64, len(kids))
+		for i, c := range kids {
+			ls[i] = labels[c]
+		}
+		sort.Slice(ls, func(a, b int) bool { return ls[a] > ls[b] })
+		need := int64(len(kids))
+		for i, l := range ls {
+			if cand := l + int64(i); cand > need {
+				need = cand
+			}
+		}
+		labels[v] = need
+	}
+	return labels[shape.Root()], nil
+}
+
+func unitVector(n int) []int64 {
+	f := make([]int64, n)
+	for i := range f {
+		f[i] = 1
+	}
+	return f
+}
+
+// UnitTree builds the paper-model tree equivalent to the unit pebble game
+// with replacement on the given shape (Figure 1's transformation with
+// f ≡ 1).
+func UnitTree(parent []int) (*tree.Tree, error) {
+	return tree.FromReplacementModel(parent, unitVector(len(parent)))
+}
+
+// UnitMinIO plays the unit-size I/O pebble game: with m pebbles (registers)
+// available, it returns the number of stores needed by the Sethi–Ullman
+// strategy — evaluate subtrees in decreasing label order, spilling the
+// values that will be consumed furthest in the future when registers run
+// out. For unit files the divisible relaxation is integral, so LSNF
+// eviction is optimal for the traversal it is given; the tests compare the
+// whole strategy against the exponential exact search.
+func UnitMinIO(parent []int, m int64) (int64, error) {
+	t, err := UnitTree(parent)
+	if err != nil {
+		return 0, err
+	}
+	if req := t.MaxMemReq(); req > m {
+		return 0, fmt.Errorf("pebble: need at least %d pebbles, got %d", req, m)
+	}
+	// The Sethi–Ullman order is exactly the best postorder of the
+	// transformed tree (children by decreasing label = decreasing peak−f).
+	order := traversal.BestPostOrder(t).Order
+	res, err := minio.Simulate(t, order, m, minio.LSNF)
+	if err != nil {
+		return 0, err
+	}
+	return res.IO, nil
+}

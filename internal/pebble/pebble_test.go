@@ -1,0 +1,153 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minio"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+func TestSethiUllmanKnownShapes(t *testing.T) {
+	// Single node: 1 register.
+	if n, err := SethiUllmanNumber([]int{tree.NoParent}); err != nil || n != 1 {
+		t.Fatalf("single node: %d, %v", n, err)
+	}
+	// Chain: always 1 register (result replaces operand)? In our k-ary
+	// labeling a one-child node needs max(1, l₁+0) = l₁, so chains stay 1.
+	if n, err := SethiUllmanNumber([]int{tree.NoParent, 0, 1, 2}); err != nil || n != 1 {
+		t.Fatalf("chain: %d, %v", n, err)
+	}
+	// Balanced binary tree of depth d needs d+1 registers.
+	// Depth 1: root with two leaves → 2.
+	if n, err := SethiUllmanNumber([]int{tree.NoParent, 0, 0}); err != nil || n != 2 {
+		t.Fatalf("cherry: %d, %v", n, err)
+	}
+	// Depth 2: 7 nodes → 3.
+	parent := []int{tree.NoParent, 0, 0, 1, 1, 2, 2}
+	if n, err := SethiUllmanNumber(parent); err != nil || n != 3 {
+		t.Fatalf("balanced depth 2: %d, %v", n, err)
+	}
+	// Unbalanced: root(a, leaf) with a = cherry → max(2, l_a+0, 1+1) = 2.
+	parent = []int{tree.NoParent, 0, 0, 1, 1}
+	if n, err := SethiUllmanNumber(parent); err != nil || n != 2 {
+		t.Fatalf("unbalanced: %d, %v", n, err)
+	}
+	// Errors propagate.
+	if _, err := SethiUllmanNumber([]int{0}); err == nil {
+		t.Fatal("cyclic parent accepted")
+	}
+}
+
+// The central connection claimed in Section II-B and Figure 1: the
+// Sethi–Ullman number equals MinMemory on the unit replacement-model tree.
+func TestQuickSethiUllmanEqualsMinMem(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(41))}
+	prop := func(seed int64, p uint8, kind uint8) bool {
+		nodes := 1 + int(p%40)
+		rng := rand.New(rand.NewSource(seed))
+		shape, err := tree.Random(rng, tree.RandomOptions{
+			Nodes: nodes, MaxF: 1, MaxN: 0, Attach: tree.AttachKind(kind % 3),
+		})
+		if err != nil {
+			return false
+		}
+		su, err := SethiUllmanNumber(shape.ParentVector())
+		if err != nil {
+			return false
+		}
+		ut, err := UnitTree(shape.ParentVector())
+		if err != nil {
+			return false
+		}
+		return traversal.MinMem(ut).Memory == su
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitMinIOZeroWhenEnoughRegisters(t *testing.T) {
+	parent := []int{tree.NoParent, 0, 0, 1, 1, 2, 2}
+	su, err := SethiUllmanNumber(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, err := UnitMinIO(parent, su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != 0 {
+		t.Fatalf("IO = %d with SU-many registers, want 0", io)
+	}
+	// One register less forces spills.
+	io2, err := UnitMinIO(parent, su-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io2 <= 0 {
+		t.Fatalf("IO = %d below SU registers, want > 0", io2)
+	}
+	// Below the absolute minimum it must fail.
+	ut, err := UnitTree(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnitMinIO(parent, ut.MaxMemReq()-1); err == nil {
+		t.Fatal("infeasible register count accepted")
+	}
+	if _, err := UnitMinIO([]int{0}, 5); err == nil {
+		t.Fatal("cyclic parent accepted")
+	}
+}
+
+// The Sethi–Ullman strategy is compared against the exact exponential MinIO
+// search on small unit trees: it must never be better than the optimum and
+// is expected to match it on trees (the polynomial case of Section II-B).
+func TestUnitMinIOMatchesExactOnSmallTrees(t *testing.T) {
+	mismatches := 0
+	total := 0
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		shape, err := tree.Random(rng, tree.RandomOptions{
+			Nodes: 2 + int(seed%9), MaxF: 1, MaxN: 0, Attach: tree.AttachKind(seed % 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ut, err := UnitTree(shape.ParentVector())
+		if err != nil {
+			t.Fatal(err)
+		}
+		low := ut.MaxMemReq()
+		high := traversal.MinMem(ut).Memory
+		for m := low; m <= high; m++ {
+			exact, err := minio.BruteForceMinIO(ut, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnitMinIO(shape.ParentVector(), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if got < exact {
+				t.Fatalf("seed %d m=%d: strategy IO %d beats exact %d", seed, m, got, exact)
+			}
+			if got != exact {
+				mismatches++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no cases exercised")
+	}
+	// The strategy should be exact on the overwhelming majority of unit
+	// trees; allow a tiny slack in case a pathological interleaving exists.
+	if float64(mismatches) > 0.05*float64(total) {
+		t.Fatalf("strategy suboptimal on %d of %d cases", mismatches, total)
+	}
+	t.Logf("unit MinIO strategy exact on %d/%d cases", total-mismatches, total)
+}

@@ -1,0 +1,197 @@
+// Package profile implements Dolan–Moré performance profiles, the
+// evaluation tool used throughout Section VI of the paper. A profile plots,
+// for each method, the fraction of test cases on which the method's cost is
+// within a factor τ of the best cost achieved by any method.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table collects the raw costs: Costs[m][i] is the cost of method m on
+// instance i. Use math.Inf(1) for failures. Lower is better. Costs of zero
+// are allowed: an instance where every method scores zero counts as ratio 1
+// for all; a method scoring positive where the best is zero gets ratio +Inf.
+type Table struct {
+	Methods []string
+	Costs   [][]float64
+}
+
+// Curve is the cumulative profile of one method: Ratios are sorted
+// per-instance ratios to the best method (failures excluded), N the total
+// instance count.
+type Curve struct {
+	Method string
+	Ratios []float64
+	N      int
+}
+
+// Compute builds one curve per method. It errors on ragged or empty input,
+// or on negative costs.
+func Compute(tbl Table) ([]Curve, error) {
+	if len(tbl.Methods) == 0 || len(tbl.Costs) != len(tbl.Methods) {
+		return nil, fmt.Errorf("profile: need one cost row per method (%d methods, %d rows)", len(tbl.Methods), len(tbl.Costs))
+	}
+	n := len(tbl.Costs[0])
+	if n == 0 {
+		return nil, fmt.Errorf("profile: no instances")
+	}
+	for m := range tbl.Costs {
+		if len(tbl.Costs[m]) != n {
+			return nil, fmt.Errorf("profile: method %q has %d costs, want %d", tbl.Methods[m], len(tbl.Costs[m]), n)
+		}
+		for i, c := range tbl.Costs[m] {
+			if c < 0 || math.IsNaN(c) {
+				return nil, fmt.Errorf("profile: method %q instance %d has invalid cost %v", tbl.Methods[m], i, c)
+			}
+		}
+	}
+	best := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best[i] = math.Inf(1)
+		for m := range tbl.Costs {
+			if tbl.Costs[m][i] < best[i] {
+				best[i] = tbl.Costs[m][i]
+			}
+		}
+	}
+	curves := make([]Curve, len(tbl.Methods))
+	for m := range tbl.Costs {
+		ratios := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			c := tbl.Costs[m][i]
+			var r float64
+			switch {
+			case math.IsInf(c, 1):
+				continue // failure: never within any τ
+			case best[i] == 0 && c == 0:
+				r = 1
+			case best[i] == 0:
+				continue // positive vs zero best: unbounded ratio
+			default:
+				r = c / best[i]
+			}
+			ratios = append(ratios, r)
+		}
+		sort.Float64s(ratios)
+		curves[m] = Curve{Method: tbl.Methods[m], Ratios: ratios, N: n}
+	}
+	return curves, nil
+}
+
+// Fraction returns the fraction of instances whose ratio is ≤ tau.
+func (c Curve) Fraction(tau float64) float64 {
+	k := sort.SearchFloat64s(c.Ratios, math.Nextafter(tau, math.Inf(1)))
+	return float64(k) / float64(c.N)
+}
+
+// MaxRatio returns the largest finite ratio of the curve (1 if empty).
+func (c Curve) MaxRatio() float64 {
+	if len(c.Ratios) == 0 {
+		return 1
+	}
+	return c.Ratios[len(c.Ratios)-1]
+}
+
+// Stats summarizes a curve the way Tables I and II of the paper do.
+type Stats struct {
+	// FractionBest is the fraction of instances where the method achieved
+	// the best cost (ratio 1).
+	FractionBest float64
+	// Max, Mean and StdDev describe the ratio distribution over instances
+	// the method completed.
+	Max, Mean, StdDev float64
+}
+
+// Summarize computes Table-style statistics from a curve.
+func Summarize(c Curve) Stats {
+	st := Stats{FractionBest: c.Fraction(1)}
+	if len(c.Ratios) == 0 {
+		return st
+	}
+	var sum float64
+	for _, r := range c.Ratios {
+		sum += r
+		if r > st.Max {
+			st.Max = r
+		}
+	}
+	st.Mean = sum / float64(len(c.Ratios))
+	var v float64
+	for _, r := range c.Ratios {
+		v += (r - st.Mean) * (r - st.Mean)
+	}
+	st.StdDev = math.Sqrt(v / float64(len(c.Ratios)))
+	return st
+}
+
+// Render draws the profiles as an ASCII chart over τ ∈ [1, maxTau] — the
+// closest a terminal gets to Figures 5–9. Each method is assigned a marker
+// character; overlapping points show the later method.
+func Render(curves []Curve, width, height int, maxTau float64) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if maxTau <= 1 {
+		maxTau = 2
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range curves {
+		mk := markers[ci%len(markers)]
+		for col := 0; col < width; col++ {
+			tau := 1 + (maxTau-1)*float64(col)/float64(width-1)
+			frac := c.Fraction(tau)
+			row := int(math.Round(float64(height-1) * (1 - frac)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mk
+		}
+	}
+	var b strings.Builder
+	b.WriteString("fraction of test cases\n")
+	for r := 0; r < height; r++ {
+		frac := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", frac, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "      +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      τ=1%sτ=%.2f\n", strings.Repeat(" ", width-10+1), maxTau)
+	for ci, c := range curves {
+		fmt.Fprintf(&b, "      %c %s\n", markers[ci%len(markers)], c.Method)
+	}
+	return b.String()
+}
+
+// WriteCSV emits "tau,method1,method2,…" rows for external plotting.
+func WriteCSV(w io.Writer, curves []Curve, taus []float64) error {
+	var b strings.Builder
+	b.WriteString("tau")
+	for _, c := range curves {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(c.Method, ",", ";"))
+	}
+	b.WriteString("\n")
+	for _, tau := range taus {
+		fmt.Fprintf(&b, "%g", tau)
+		for _, c := range curves {
+			fmt.Fprintf(&b, ",%.4f", c.Fraction(tau))
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,161 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeBasic(t *testing.T) {
+	tbl := Table{
+		Methods: []string{"a", "b"},
+		Costs: [][]float64{
+			{1, 2, 4},
+			{2, 2, 2},
+		},
+	}
+	curves, err := Compute(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best costs: 1, 2, 2.
+	// a ratios: 1, 1, 2 — b ratios: 2, 1, 1.
+	a, b := curves[0], curves[1]
+	if got := a.Fraction(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("a.Fraction(1) = %f", got)
+	}
+	if got := b.Fraction(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("b.Fraction(1) = %f", got)
+	}
+	if got := a.Fraction(2); got != 1 {
+		t.Fatalf("a.Fraction(2) = %f", got)
+	}
+	if got := a.Fraction(1.5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("a.Fraction(1.5) = %f", got)
+	}
+	if a.MaxRatio() != 2 {
+		t.Fatalf("a.MaxRatio = %f", a.MaxRatio())
+	}
+}
+
+func TestComputeZerosAndFailures(t *testing.T) {
+	inf := math.Inf(1)
+	tbl := Table{
+		Methods: []string{"a", "b"},
+		Costs: [][]float64{
+			{0, 0, inf},
+			{0, 5, 1},
+		},
+	}
+	curves, err := Compute(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := curves[0], curves[1]
+	// a: instance 0 ratio 1, instance 1 ratio 1 (0 vs best 0), instance 2
+	// failure → excluded. Fraction at any tau tops out at 2/3.
+	if got := a.Fraction(1e9); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("a.Fraction(∞) = %f", got)
+	}
+	// b: instance 0 ratio 1, instance 1 positive vs zero best → excluded,
+	// instance 2 ratio 1.
+	if got := b.Fraction(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("b.Fraction(1) = %f", got)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(Table{}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	if _, err := Compute(Table{Methods: []string{"a"}, Costs: [][]float64{{}}}); err == nil {
+		t.Fatal("zero instances accepted")
+	}
+	if _, err := Compute(Table{Methods: []string{"a", "b"}, Costs: [][]float64{{1}, {1, 2}}}); err == nil {
+		t.Fatal("ragged costs accepted")
+	}
+	if _, err := Compute(Table{Methods: []string{"a"}, Costs: [][]float64{{-1}}}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := Compute(Table{Methods: []string{"a"}, Costs: [][]float64{{math.NaN()}}}); err == nil {
+		t.Fatal("NaN cost accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tbl := Table{
+		Methods: []string{"a", "b"},
+		Costs: [][]float64{
+			{1, 1, 1, 1},
+			{1, 1, 1.5, 2},
+		},
+	}
+	curves, err := Compute(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := Summarize(curves[0])
+	if sa.FractionBest != 1 || sa.Max != 1 || sa.Mean != 1 || sa.StdDev != 0 {
+		t.Fatalf("stats a = %+v", sa)
+	}
+	sb := Summarize(curves[1])
+	if math.Abs(sb.FractionBest-0.5) > 1e-12 {
+		t.Fatalf("b fraction best = %f", sb.FractionBest)
+	}
+	if sb.Max != 2 {
+		t.Fatalf("b max = %f", sb.Max)
+	}
+	if math.Abs(sb.Mean-1.375) > 1e-12 {
+		t.Fatalf("b mean = %f", sb.Mean)
+	}
+	empty := Summarize(Curve{Method: "x", N: 3})
+	if empty.Max != 0 || empty.FractionBest != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tbl := Table{
+		Methods: []string{"fast", "slow"},
+		Costs:   [][]float64{{1, 1, 1}, {3, 2, 1}},
+	}
+	curves, err := Compute(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(curves, 40, 10, 3)
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "slow") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "fraction of test cases") {
+		t.Fatal("axis label missing")
+	}
+	// Degenerate sizes are clamped, not panicking.
+	_ = Render(curves, 1, 1, 0.5)
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := Table{
+		Methods: []string{"a,comma", "b"},
+		Costs:   [][]float64{{1, 2}, {2, 2}},
+	}
+	curves, err := Compute(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, curves, []float64{1, 1.5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "tau,a;comma,b") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "2,1.0000,1.0000") {
+		t.Fatalf("bad last row %q", lines[3])
+	}
+}

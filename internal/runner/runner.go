@@ -1,0 +1,88 @@
+// Package runner provides the small parallel-execution substrate used to
+// evaluate instance suites: a bounded worker pool with deterministic result
+// placement, first-error propagation and context cancellation. The
+// algorithms themselves are sequential (as in the paper); parallelism is
+// across independent instances, so results are bit-identical to a
+// sequential run.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS). The first error cancels the remaining
+// work and is returned; fn must be safe for concurrent invocation on
+// distinct indices.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n < 0 {
+		return fmt.Errorf("runner: negative count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if fn == nil {
+		return fmt.Errorf("runner: nil function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Map applies fn to every index and collects results in order. Like
+// ForEach, the first error wins and cancels the rest; the partial results
+// of failed runs are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

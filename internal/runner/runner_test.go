@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var hits [100]atomic.Int32
+	err := ForEach(context.Background(), 100, 8, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return nil }); err != nil {
+		t.Fatal("n=0 should be a no-op")
+	}
+	if err := ForEach(context.Background(), -1, 4, func(int) error { return nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if err := ForEach(context.Background(), 5, 4, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	// workers ≤ 0 defaults to GOMAXPROCS; workers > n is clamped.
+	if err := ForEach(context.Background(), 3, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(context.Background(), 2, 50, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 1000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if ran.Load() == 1000 {
+		t.Log("cancellation did not short-circuit (legal but unexpected on 1 core)")
+	}
+}
+
+func TestForEachHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 100, 4, func(int) error { return nil })
+	if err == nil {
+		t.Fatal("cancelled context not reported")
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := Map(context.Background(), 50, 7, func(i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(context.Background(), 10, 2, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+// Property: Map output matches the sequential computation for any size and
+// worker count.
+func TestQuickMapMatchesSequential(t *testing.T) {
+	prop := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		w := int(wRaw%8) + 1
+		out, err := Map(context.Background(), n, w, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			return false
+		}
+		for i, v := range out {
+			if v != i*i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

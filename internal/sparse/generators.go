@@ -1,0 +1,180 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Grid2D returns the 5-point Laplacian pattern of an nx×ny grid (symmetric,
+// full diagonal): the model problem dominating sparse-factorization
+// collections. Vertices are numbered row-major; the result has
+// n = nx·ny columns.
+func Grid2D(nx, ny int) (*Matrix, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("sparse: grid dimensions must be positive, got %d×%d", nx, ny)
+	}
+	n := nx * ny
+	cols := make([][]int, n)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			j := id(x, y)
+			col := []int{j}
+			if x > 0 {
+				col = append(col, id(x-1, y))
+			}
+			if x < nx-1 {
+				col = append(col, id(x+1, y))
+			}
+			if y > 0 {
+				col = append(col, id(x, y-1))
+			}
+			if y < ny-1 {
+				col = append(col, id(x, y+1))
+			}
+			cols[j] = col
+		}
+	}
+	return New(n, cols)
+}
+
+// Grid3D returns the 7-point Laplacian pattern of an nx×ny×nz grid.
+func Grid3D(nx, ny, nz int) (*Matrix, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("sparse: grid dimensions must be positive, got %d×%d×%d", nx, ny, nz)
+	}
+	n := nx * ny * nz
+	cols := make([][]int, n)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				j := id(x, y, z)
+				col := []int{j}
+				if x > 0 {
+					col = append(col, id(x-1, y, z))
+				}
+				if x < nx-1 {
+					col = append(col, id(x+1, y, z))
+				}
+				if y > 0 {
+					col = append(col, id(x, y-1, z))
+				}
+				if y < ny-1 {
+					col = append(col, id(x, y+1, z))
+				}
+				if z > 0 {
+					col = append(col, id(x, y, z-1))
+				}
+				if z < nz-1 {
+					col = append(col, id(x, y, z+1))
+				}
+				cols[j] = col
+			}
+		}
+	}
+	return New(n, cols)
+}
+
+// RandomSymmetric returns a random symmetric pattern with full diagonal and
+// roughly avgDeg off-diagonal entries per column (matching the paper's
+// matrix-selection criterion "at least 2.5 nonzeros per row"). A spanning
+// chain is always included so the graph — and hence the elimination tree —
+// is connected.
+func RandomSymmetric(rng *rand.Rand, n int, avgDeg float64) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sparse: need n ≥ 1, got %d", n)
+	}
+	if avgDeg < 0 {
+		return nil, fmt.Errorf("sparse: need avgDeg ≥ 0, got %f", avgDeg)
+	}
+	cols := make([][]int, n)
+	for j := 0; j < n; j++ {
+		cols[j] = append(cols[j], j)
+	}
+	// Spanning chain for connectivity.
+	for j := 1; j < n; j++ {
+		cols[j] = append(cols[j], j-1)
+		cols[j-1] = append(cols[j-1], j)
+	}
+	// Random off-diagonal pairs. Each accepted pair adds 2 entries, so draw
+	// n·avgDeg/2 pairs.
+	pairs := int(float64(n) * avgDeg / 2)
+	for k := 0; k < pairs; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		cols[j] = append(cols[j], i)
+		cols[i] = append(cols[i], j)
+	}
+	return New(n, cols)
+}
+
+// ScaleFree returns a random symmetric pattern grown by preferential
+// attachment (Barabási–Albert style): each new vertex connects to
+// edgesPerNode existing vertices chosen proportionally to their degree,
+// plus the full diagonal. The hub-dominated structure mimics the irregular
+// matrices (circuit, optimization) of real collections, whose assembly
+// trees are the ones where postorder traversals lose to optimal ones.
+func ScaleFree(rng *rand.Rand, n, edgesPerNode int) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sparse: need n ≥ 1, got %d", n)
+	}
+	if edgesPerNode < 1 {
+		return nil, fmt.Errorf("sparse: need ≥ 1 edge per node, got %d", edgesPerNode)
+	}
+	cols := make([][]int, n)
+	for j := 0; j < n; j++ {
+		cols[j] = append(cols[j], j)
+	}
+	// targets holds one entry per edge endpoint, so sampling uniformly from
+	// it is degree-proportional sampling.
+	targets := []int{0}
+	for v := 1; v < n; v++ {
+		added := map[int]bool{}
+		for e := 0; e < edgesPerNode && len(added) < v; e++ {
+			u := targets[rng.Intn(len(targets))]
+			if u == v || added[u] {
+				continue
+			}
+			added[u] = true
+			cols[v] = append(cols[v], u)
+			cols[u] = append(cols[u], v)
+			targets = append(targets, u)
+		}
+		if len(added) == 0 && v > 0 {
+			// Guarantee connectivity.
+			u := rng.Intn(v)
+			cols[v] = append(cols[v], u)
+			cols[u] = append(cols[u], v)
+			targets = append(targets, u)
+		}
+		targets = append(targets, v)
+	}
+	return New(n, cols)
+}
+
+// BandMatrix returns a symmetric banded pattern with the given half
+// bandwidth (diagonal included), a stand-in for structured engineering
+// matrices.
+func BandMatrix(n, halfBand int) (*Matrix, error) {
+	if n < 1 || halfBand < 0 {
+		return nil, fmt.Errorf("sparse: bad band parameters n=%d b=%d", n, halfBand)
+	}
+	cols := make([][]int, n)
+	for j := 0; j < n; j++ {
+		lo := j - halfBand
+		if lo < 0 {
+			lo = 0
+		}
+		hi := j + halfBand
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for i := lo; i <= hi; i++ {
+			cols[j] = append(cols[j], i)
+		}
+	}
+	return New(n, cols)
+}

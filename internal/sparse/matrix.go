@@ -1,0 +1,186 @@
+// Package sparse provides the sparse-matrix substrate of the reproduction:
+// compressed sparse column (CSC) patterns, the symmetrization |A|+|Aᵀ|+I
+// used by the paper's experimental setup, model-problem generators (2D/3D
+// grid Laplacians, random symmetric patterns) standing in for the
+// University of Florida collection, and Matrix Market I/O.
+//
+// Only the nonzero pattern matters for elimination trees and assembly
+// trees, so matrices are stored pattern-only.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is an n×n sparse pattern in CSC form. Row indices within a column
+// are strictly increasing. The zero value is not usable; use New or a
+// generator.
+type Matrix struct {
+	n      int
+	colPtr []int32
+	rowIdx []int32
+}
+
+// New builds a CSC pattern from per-column row indices. Duplicate entries
+// within a column are merged; indices are sorted.
+func New(n int, cols [][]int) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sparse: need n > 0, got %d", n)
+	}
+	if len(cols) != n {
+		return nil, fmt.Errorf("sparse: got %d columns, want %d", len(cols), n)
+	}
+	m := &Matrix{n: n, colPtr: make([]int32, n+1)}
+	var buf []int32
+	for j, col := range cols {
+		start := len(buf)
+		for _, i := range col {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("sparse: entry (%d,%d) out of range", i, j)
+			}
+			buf = append(buf, int32(i))
+		}
+		seg := buf[start:]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+		// Deduplicate in place.
+		w := start
+		for r := start; r < len(buf); r++ {
+			if w == start || buf[r] != buf[w-1] {
+				buf[w] = buf[r]
+				w++
+			}
+		}
+		buf = buf[:w]
+		m.colPtr[j+1] = int32(len(buf))
+	}
+	m.rowIdx = buf
+	return m, nil
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.rowIdx) }
+
+// Col returns the sorted row indices of column j. The returned slice is
+// owned by the matrix; do not mutate.
+func (m *Matrix) Col(j int) []int32 {
+	return m.rowIdx[m.colPtr[j]:m.colPtr[j+1]]
+}
+
+// Has reports whether entry (i, j) is present.
+func (m *Matrix) Has(i, j int) bool {
+	col := m.Col(j)
+	k := sort.Search(len(col), func(x int) bool { return col[x] >= int32(i) })
+	return k < len(col) && col[k] == int32(i)
+}
+
+// Transpose returns the pattern of Aᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := &Matrix{n: m.n, colPtr: make([]int32, m.n+1), rowIdx: make([]int32, len(m.rowIdx))}
+	for _, i := range m.rowIdx {
+		out.colPtr[i+1]++
+	}
+	for j := 1; j <= m.n; j++ {
+		out.colPtr[j] += out.colPtr[j-1]
+	}
+	next := make([]int32, m.n)
+	copy(next, out.colPtr[:m.n])
+	for j := 0; j < m.n; j++ {
+		for _, i := range m.Col(j) {
+			out.rowIdx[next[i]] = int32(j)
+			next[i]++
+		}
+	}
+	return out
+}
+
+// Symmetrize returns the pattern of |A| + |Aᵀ| + I, the form the paper
+// feeds to the ordering and symbolic-factorization steps.
+func (m *Matrix) Symmetrize() *Matrix {
+	at := m.Transpose()
+	cols := make([][]int, m.n)
+	for j := 0; j < m.n; j++ {
+		col := make([]int, 0, len(m.Col(j))+len(at.Col(j))+1)
+		for _, i := range m.Col(j) {
+			col = append(col, int(i))
+		}
+		for _, i := range at.Col(j) {
+			col = append(col, int(i))
+		}
+		col = append(col, j)
+		cols[j] = col
+	}
+	out, err := New(m.n, cols)
+	if err != nil {
+		panic(err) // indices come from valid matrices
+	}
+	return out
+}
+
+// IsSymmetric reports whether the pattern equals its transpose.
+func (m *Matrix) IsSymmetric() bool {
+	at := m.Transpose()
+	if len(at.rowIdx) != len(m.rowIdx) {
+		return false
+	}
+	for k := range m.rowIdx {
+		if m.rowIdx[k] != at.rowIdx[k] {
+			return false
+		}
+	}
+	for j := 0; j <= m.n; j++ {
+		if m.colPtr[j] != at.colPtr[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasFullDiagonal reports whether every diagonal entry is present.
+func (m *Matrix) HasFullDiagonal() bool {
+	for j := 0; j < m.n; j++ {
+		if !m.Has(j, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// Permute returns the pattern of PAPᵀ where perm is the new-to-old
+// permutation: row/column perm[k] of A becomes row/column k of the result.
+func (m *Matrix) Permute(perm []int) (*Matrix, error) {
+	if len(perm) != m.n {
+		return nil, fmt.Errorf("sparse: permutation has %d entries, want %d", len(perm), m.n)
+	}
+	inv := make([]int, m.n)
+	for k := range inv {
+		inv[k] = -1
+	}
+	for k, old := range perm {
+		if old < 0 || old >= m.n {
+			return nil, fmt.Errorf("sparse: permutation entry %d out of range", old)
+		}
+		if inv[old] != -1 {
+			return nil, fmt.Errorf("sparse: permutation repeats %d", old)
+		}
+		inv[old] = k
+	}
+	cols := make([][]int, m.n)
+	for k, old := range perm {
+		src := m.Col(old)
+		col := make([]int, len(src))
+		for x, i := range src {
+			col[x] = inv[i]
+		}
+		cols[k] = col
+	}
+	return New(m.n, cols)
+}
+
+// AverageDegree returns NNZ / n, the mean number of entries per column.
+func (m *Matrix) AverageDegree() float64 {
+	return float64(m.NNZ()) / float64(m.n)
+}

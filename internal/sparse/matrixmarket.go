@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket serializes the pattern in MatrixMarket coordinate
+// format ("%%MatrixMarket matrix coordinate pattern general"), 1-based.
+func (m *Matrix) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n%d %d %d\n", m.n, m.n, m.NNZ()); err != nil {
+		return err
+	}
+	for j := 0; j < m.n; j++ {
+		for _, i := range m.Col(j) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i+1, j+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file. Real, integer and
+// pattern fields are accepted (values are discarded); "symmetric" and
+// "skew-symmetric" storage is expanded to both triangles. Only square
+// matrices are accepted, since the downstream pipeline symmetrizes and
+// factorizes.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	field, storage := header[3], header[4]
+	switch field {
+	case "pattern", "real", "integer":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported field type %q", field)
+	}
+	symmetric := false
+	switch storage {
+	case "general":
+	case "symmetric", "skew-symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported storage %q", storage)
+	}
+	// Skip comments, read the size line.
+	var n, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("sparse: malformed size line %q", line)
+		}
+		rows, err1 := strconv.Atoi(fields[0])
+		colsN, err2 := strconv.Atoi(fields[1])
+		cnt, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sparse: malformed size line %q", line)
+		}
+		if rows != colsN {
+			return nil, fmt.Errorf("sparse: matrix is %d×%d; only square supported", rows, colsN)
+		}
+		n, nnz = rows, cnt
+		break
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("sparse: missing size line")
+	}
+	cols := make([][]int, n)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: malformed entry %q", line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("sparse: malformed entry %q", line)
+		}
+		if i < 1 || i > n || j < 1 || j > n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for n=%d", i, j, n)
+		}
+		cols[j-1] = append(cols[j-1], i-1)
+		if symmetric && i != j {
+			cols[i-1] = append(cols[i-1], j-1)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	return New(n, cols)
+}

@@ -1,0 +1,216 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/tree"
+)
+
+// AssemblyNode describes one node of the assembly tree before weights are
+// attached: the set of amalgamated elimination-tree columns is summarized
+// by its size η and the column count µ of the top (highest) column.
+type AssemblyNode struct {
+	// Top is the highest elimination-tree column amalgamated in the node.
+	Top int
+	// Eta is η, the number of amalgamated columns.
+	Eta int
+	// Mu is µ, the factor-column count of Top in the starting tree.
+	Mu int64
+}
+
+// AssemblyOptions controls amalgamation.
+type AssemblyOptions struct {
+	// Relax is the per-node budget of relaxed (non-perfect) amalgamations:
+	// each assembly node may acquire at most this many elimination-tree
+	// columns by absorbing its densest children beyond the perfect merges.
+	// The paper uses 1, 2, 4 and 16. Zero keeps only perfect amalgamations
+	// (fundamental supernode chains).
+	Relax int
+}
+
+// AssemblyResult is the weighted assembly tree plus the per-node summary.
+type AssemblyResult struct {
+	// Tree carries the paper's weights: F(i) = (µ−1)² is the contribution
+	// block passed to the parent, N(i) = η² + 2η(µ−1) the extra working
+	// storage of the frontal matrix. The tree is orientation-neutral: the
+	// multifrontal method processes it bottom-up; by the reversal lemma the
+	// same memory figures hold top-down.
+	Tree *tree.Tree
+	// Nodes aligns with tree node indices.
+	Nodes []AssemblyNode
+	// Columns lists, for every assembly node, its member elimination-tree
+	// columns in increasing order (empty for a virtual root).
+	Columns [][]int
+}
+
+// AssemblyTree runs the full symbolic pipeline on a symmetric permuted
+// pattern: elimination tree, column counts, perfect + relaxed amalgamation,
+// and weight assignment per Section VI-B. Disconnected matrices get a
+// zero-weight virtual root joining the forest.
+func AssemblyTree(m *sparse.Matrix, opt AssemblyOptions) (*AssemblyResult, error) {
+	parent, err := EliminationTree(m)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := ColumnCounts(m, parent)
+	if err != nil {
+		return nil, err
+	}
+	return Amalgamate(parent, counts, opt)
+}
+
+// Amalgamate builds the weighted assembly tree from an elimination forest
+// and its column counts.
+//
+// Processing columns bottom-up:
+//   - perfect amalgamation always fires: an only child whose column count
+//     exceeds its parent's by exactly one belongs to the same supernode;
+//   - then, while the node has used fewer than Relax relaxed merges, it
+//     absorbs its densest remaining child (the one with the largest µ).
+func Amalgamate(parent []int, counts []int64, opt AssemblyOptions) (*AssemblyResult, error) {
+	n := len(parent)
+	if len(counts) != n {
+		return nil, fmt.Errorf("symbolic: counts has %d entries, want %d", len(counts), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("symbolic: empty elimination tree")
+	}
+	if opt.Relax < 0 {
+		return nil, fmt.Errorf("symbolic: negative relax %d", opt.Relax)
+	}
+	for j, p := range parent {
+		if p != NoParent && (p < 0 || p >= n || p == j) {
+			return nil, fmt.Errorf("symbolic: bad parent %d of %d", p, j)
+		}
+	}
+	// Assembly state per representative column (the top column of a node).
+	eta := make([]int32, n)
+	kids := make([][]int32, n) // children assembly reps, maintained at reps
+	rep := make([]int32, n)    // union-find: etree column → assembly rep
+	for j := range rep {
+		rep[j] = int32(j)
+		eta[j] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for rep[x] != x {
+			rep[x] = rep[rep[x]]
+			x = rep[x]
+		}
+		return x
+	}
+	post := EtreePostorder(parent)
+	etreeKids := make([][]int32, n)
+	for j, p := range parent {
+		if p != NoParent {
+			etreeKids[p] = append(etreeKids[p], int32(j))
+		}
+	}
+	for _, pi := range post {
+		p := int32(pi)
+		// Children assembly nodes of p (already final).
+		for _, c := range etreeKids[p] {
+			kids[p] = append(kids[p], find(c))
+		}
+		absorb := func(idx int) {
+			c := kids[p][idx]
+			rep[c] = p
+			eta[p] += eta[c]
+			kids[p] = append(kids[p][:idx], kids[p][idx+1:]...)
+			kids[p] = append(kids[p], kids[c]...)
+			kids[c] = nil
+		}
+		// Perfect amalgamation: the child attaches at column p itself, is
+		// p's only elimination-tree child, and its top column has exactly
+		// one more factor entry than column p — the two columns share the
+		// below-diagonal structure (a fundamental supernode edge). Each
+		// etree edge is examined once, when its upper endpoint is visited.
+		if len(etreeKids[p]) == 1 && counts[etreeKids[p][0]] == counts[p]+1 {
+			absorb(0)
+		}
+		// Relaxed amalgamation: absorb the densest children as long as the
+		// number of columns acquired this way stays within the per-node
+		// budget. Bounding the acquired columns (rather than the merge
+		// count) prevents chains from collapsing transitively into a single
+		// node as the budget is spent bottom-up.
+		budget := int32(opt.Relax)
+		for budget > 0 && len(kids[p]) > 0 {
+			di := -1
+			for i := range kids[p] {
+				c := kids[p][i]
+				if eta[c] > budget {
+					continue
+				}
+				if di < 0 || counts[c] > counts[kids[p][di]] {
+					di = i
+				}
+			}
+			if di < 0 {
+				break
+			}
+			budget -= eta[kids[p][di]]
+			absorb(di)
+		}
+	}
+	// Collect final assembly nodes.
+	var reps []int32
+	for j := 0; j < n; j++ {
+		if find(int32(j)) == int32(j) {
+			reps = append(reps, int32(j))
+		}
+	}
+	asmIndex := make(map[int32]int, len(reps))
+	for k, r := range reps {
+		asmIndex[r] = k
+	}
+	// Parents in the assembly tree; count roots to decide on a virtual root.
+	asmParent := make([]int, len(reps))
+	var roots []int
+	for k, r := range reps {
+		p := parent[r]
+		if p == NoParent {
+			asmParent[k] = tree.NoParent
+			roots = append(roots, k)
+		} else {
+			asmParent[k] = asmIndex[find(int32(p))]
+		}
+	}
+	columns := make([][]int, len(reps))
+	for j := 0; j < n; j++ {
+		k := asmIndex[find(int32(j))]
+		columns[k] = append(columns[k], j)
+	}
+	nodes := make([]AssemblyNode, len(reps))
+	f := make([]int64, len(reps))
+	nw := make([]int64, len(reps))
+	for k, r := range reps {
+		mu := counts[r]
+		h := int64(eta[r])
+		nodes[k] = AssemblyNode{Top: int(r), Eta: int(eta[r]), Mu: mu}
+		f[k] = (mu - 1) * (mu - 1)
+		nw[k] = h*h + 2*h*(mu-1)
+	}
+	if len(roots) > 1 {
+		// Virtual zero-weight root joining the forest.
+		vr := len(nodes)
+		nodes = append(nodes, AssemblyNode{Top: -1})
+		columns = append(columns, nil)
+		f = append(f, 0)
+		nw = append(nw, 0)
+		for _, k := range roots {
+			asmParent[k] = vr
+			f[k] = 0 // each component's final result leaves the system
+		}
+		asmParent = append(asmParent, tree.NoParent)
+	} else {
+		// The root's contribution block leaves the system; it carries no
+		// file to a parent.
+		f[roots[0]] = 0
+	}
+	tr, err := tree.New(asmParent, f, nw)
+	if err != nil {
+		return nil, fmt.Errorf("symbolic: assembly tree construction: %w", err)
+	}
+	return &AssemblyResult{Tree: tr, Nodes: nodes, Columns: columns}, nil
+}

@@ -1,0 +1,388 @@
+package symbolic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/tree"
+)
+
+func tridiag(t *testing.T, n int) *sparse.Matrix {
+	t.Helper()
+	m, err := sparse.BandMatrix(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEliminationTreeTridiagonal(t *testing.T) {
+	m := tridiag(t, 6)
+	parent, err := EliminationTree(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, NoParent}
+	if !reflect.DeepEqual(parent, want) {
+		t.Fatalf("etree = %v, want %v", parent, want)
+	}
+}
+
+func TestEliminationTreeArrow(t *testing.T) {
+	// Arrow pattern: column j = {j, n−1}. Every column hangs off the root.
+	n := 5
+	cols := make([][]int, n)
+	for j := 0; j < n-1; j++ {
+		cols[j] = []int{j, n - 1}
+	}
+	cols[n-1] = []int{0, 1, 2, 3, 4}
+	m, err := sparse.New(n, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := EliminationTree(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 4, 4, 4, NoParent}
+	if !reflect.DeepEqual(parent, want) {
+		t.Fatalf("etree = %v, want %v", parent, want)
+	}
+}
+
+func TestEliminationTreeErrors(t *testing.T) {
+	asym, err := sparse.New(2, [][]int{{0, 1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EliminationTree(asym); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+	nodiag, err := sparse.New(2, [][]int{{1}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EliminationTree(nodiag); err == nil {
+		t.Fatal("missing diagonal accepted")
+	}
+}
+
+func TestColumnCountsTridiagonal(t *testing.T) {
+	m := tridiag(t, 5)
+	parent, err := EliminationTree(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ColumnCounts(m, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 2, 2, 2, 1} // bidiagonal L
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	if FactorNNZ(counts) != 9 {
+		t.Fatalf("FactorNNZ = %d, want 9", FactorNNZ(counts))
+	}
+	if _, err := ColumnCounts(m, parent[:2]); err == nil {
+		t.Fatal("short parent accepted")
+	}
+}
+
+// denseBoolCholesky is an O(n³) oracle: boolean Cholesky with fill.
+func denseBoolCholesky(m *sparse.Matrix) []int64 {
+	n := m.N()
+	b := make([][]bool, n)
+	for j := 0; j < n; j++ {
+		b[j] = make([]bool, n)
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range m.Col(j) {
+			b[int(i)][j] = true
+			b[j][int(i)] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			if !b[i][k] {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				if b[j][k] {
+					b[i][j] = true
+					b[j][i] = true
+				}
+			}
+		}
+	}
+	counts := make([]int64, n)
+	for j := 0; j < n; j++ {
+		counts[j] = 1
+		for i := j + 1; i < n; i++ {
+			if b[i][j] {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+// Property: ColumnCounts matches the dense boolean Cholesky oracle.
+func TestQuickColumnCountsOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))}
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		rng := rand.New(rand.NewSource(seed))
+		raw, err := sparse.RandomSymmetric(rng, n, 2)
+		if err != nil {
+			return false
+		}
+		m := raw.Symmetrize()
+		parent, err := EliminationTree(m)
+		if err != nil {
+			return false
+		}
+		counts, err := ColumnCounts(m, parent)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(counts, denseBoolCholesky(m))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEtreePostorder(t *testing.T) {
+	parent := []int{1, 4, 3, 4, NoParent}
+	post := EtreePostorder(parent)
+	if len(post) != 5 {
+		t.Fatalf("postorder has %d entries", len(post))
+	}
+	pos := make([]int, 5)
+	for k, v := range post {
+		pos[v] = k
+	}
+	for j, p := range parent {
+		if p != NoParent && pos[j] > pos[p] {
+			t.Fatalf("node %d after its parent %d", j, p)
+		}
+	}
+}
+
+func TestAmalgamatePerfectChain(t *testing.T) {
+	// Dense 4×4: etree is a chain with counts 4,3,2,1 — one supernode.
+	n := 4
+	cols := make([][]int, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			cols[j] = append(cols[j], i)
+		}
+	}
+	m, err := sparse.New(n, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AssemblyTree(m, AssemblyOptions{Relax: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Len() != 1 {
+		t.Fatalf("dense matrix should amalgamate to 1 node, got %d", res.Tree.Len())
+	}
+	nd := res.Nodes[0]
+	// The top column of the supernode is the last one, whose factor column
+	// holds only the diagonal: µ = 1. The frontal matrix is then
+	// (η + µ − 1)² = 16 = n + f with an empty contribution block.
+	if nd.Eta != 4 || nd.Mu != 1 {
+		t.Fatalf("node = %+v, want η=4 µ=1", nd)
+	}
+	if res.Tree.N(0) != 16 || res.Tree.F(0) != 0 {
+		t.Fatalf("weights f=%d n=%d, want 0, 16", res.Tree.F(0), res.Tree.N(0))
+	}
+}
+
+func TestAmalgamateTridiagonalNoPerfect(t *testing.T) {
+	// Tridiagonal counts are 2,2,…,2,1: parent count is not child+1 except
+	// at the last column, so only the top pair merges perfectly.
+	m := tridiag(t, 6)
+	res, err := AssemblyTree(m, AssemblyOptions{Relax: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Len() != 5 {
+		t.Fatalf("tridiagonal n=6 gives %d assembly nodes, want 5", res.Tree.Len())
+	}
+	// All etas sum to n.
+	sum := 0
+	for _, nd := range res.Nodes {
+		sum += nd.Eta
+	}
+	if sum != 6 {
+		t.Fatalf("η sum = %d, want 6", sum)
+	}
+}
+
+func TestAmalgamateRelaxCoarsens(t *testing.T) {
+	g, err := sparse.Grid2D(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := ordering.MinimumDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := g.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for _, relax := range []int{0, 1, 2, 4, 16} {
+		res, err := AssemblyTree(pg, AssemblyOptions{Relax: relax})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tree.Len() > prev {
+			t.Fatalf("relax=%d grew the tree: %d > %d", relax, res.Tree.Len(), prev)
+		}
+		prev = res.Tree.Len()
+		sum := 0
+		for _, nd := range res.Nodes {
+			sum += nd.Eta
+		}
+		if sum != pg.N() {
+			t.Fatalf("relax=%d: η sum %d != n %d", relax, sum, pg.N())
+		}
+		// Weight formulas hold for every node.
+		for k, nd := range res.Nodes {
+			h, mu := int64(nd.Eta), nd.Mu
+			wantN := h*h + 2*h*(mu-1)
+			if res.Tree.N(k) != wantN {
+				t.Fatalf("node %d: n=%d want %d", k, res.Tree.N(k), wantN)
+			}
+			if k != res.Tree.Root() {
+				wantF := (mu - 1) * (mu - 1)
+				if res.Tree.F(k) != wantF {
+					t.Fatalf("node %d: f=%d want %d", k, res.Tree.F(k), wantF)
+				}
+			}
+		}
+	}
+}
+
+func TestAmalgamateForestGetsVirtualRoot(t *testing.T) {
+	// Two disconnected 1×1 blocks.
+	m, err := sparse.New(2, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AssemblyTree(m, AssemblyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Len() != 3 {
+		t.Fatalf("forest should gain a virtual root: %d nodes", res.Tree.Len())
+	}
+	root := res.Tree.Root()
+	if res.Tree.F(root) != 0 || res.Tree.N(root) != 0 {
+		t.Fatal("virtual root must be weightless")
+	}
+	if res.Nodes[root].Top != -1 {
+		t.Fatal("virtual root must be marked with Top=-1")
+	}
+}
+
+func TestAmalgamateErrors(t *testing.T) {
+	if _, err := Amalgamate([]int{NoParent}, []int64{1, 2}, AssemblyOptions{}); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+	if _, err := Amalgamate(nil, nil, AssemblyOptions{}); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	if _, err := Amalgamate([]int{NoParent}, []int64{1}, AssemblyOptions{Relax: -1}); err == nil {
+		t.Fatal("negative relax accepted")
+	}
+	if _, err := Amalgamate([]int{5}, []int64{1}, AssemblyOptions{}); err == nil {
+		t.Fatal("bad parent accepted")
+	}
+}
+
+// Fill quality: MD and ND must produce far less fill than the natural
+// order on a grid — this validates the whole ordering+symbolic pipeline.
+func TestOrderingsReduceFill(t *testing.T) {
+	g, err := sparse.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(perm []int) int64 {
+		pm, err := g.Permute(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent, err := EliminationTree(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := ColumnCounts(pm, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FactorNNZ(counts)
+	}
+	natural := fill(ordering.Natural(g))
+	md, err := ordering.MinimumDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := ordering.NestedDissection(g, ordering.NestedDissectionOptions{LeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillMD, fillND := fill(md), fill(nd)
+	if fillMD >= natural {
+		t.Fatalf("MD fill %d not better than natural %d", fillMD, natural)
+	}
+	if fillND >= natural {
+		t.Fatalf("ND fill %d not better than natural %d", fillND, natural)
+	}
+	t.Logf("fill natural=%d md=%d nd=%d", natural, fillMD, fillND)
+}
+
+// The assembly tree is a plausible workflow: positive weights, MemReq
+// bounded, and usable by the traversal layer (smoke test via tree checks).
+func TestQuickAssemblyTreesWellFormed(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(29))}
+	prop := func(seed int64, nRaw uint8, relaxRaw uint8) bool {
+		n := 4 + int(nRaw%40)
+		relax := int(relaxRaw % 5)
+		rng := rand.New(rand.NewSource(seed))
+		raw, err := sparse.RandomSymmetric(rng, n, 2.5)
+		if err != nil {
+			return false
+		}
+		m := raw.Symmetrize()
+		res, err := AssemblyTree(m, AssemblyOptions{Relax: relax})
+		if err != nil {
+			return false
+		}
+		tr := res.Tree
+		if tr.Len() > n+1 {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if tr.F(i) < 0 || tr.N(i) < 0 {
+				return false
+			}
+		}
+		return tr.IsTopDownOrder(tr.TopDown()) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = tree.NoParent // keep the import for documentation references

@@ -1,0 +1,47 @@
+package traversal
+
+import "repro/internal/tree"
+
+// MinMemNoReuse is an ablation of MinMem: like Algorithm 4 it lifts the
+// available memory to the reported peak after every stalled sweep, but it
+// discards the saved frontier and traversal prefix and restarts Explore
+// from the root each time. It returns the same optimal memory as MinMem —
+// the lift sequence does not depend on the reuse — at a higher cost; the
+// ablation benchmark quantifies how much the frontier reuse of the
+// published algorithm saves.
+func MinMemNoReuse(t *tree.Tree) Result {
+	var (
+		avail int64
+		st    = exploreState{t: t}
+		out   exploreResult
+	)
+	peak := t.MaxMemReq()
+	for peak != Infinite {
+		avail = peak
+		out = st.explore(t.Root(), avail, nil, nil)
+		peak = out.peak
+	}
+	order := make([]int, len(out.order))
+	for i, v := range out.order {
+		order[i] = int(v)
+	}
+	return Result{Memory: avail, Order: order}
+}
+
+// ExploreCalls counts the recursive Explore invocations performed by a full
+// MinMem run, the cost measure behind the O(p²) analysis. reuse selects the
+// published algorithm (true) or the restart ablation (false).
+func ExploreCalls(t *tree.Tree, reuse bool) int64 {
+	st := exploreState{t: t, countCalls: true}
+	var out exploreResult
+	peak := t.MaxMemReq()
+	for peak != Infinite {
+		if reuse {
+			out = st.explore(t.Root(), peak, out.cut, out.order)
+		} else {
+			out = st.explore(t.Root(), peak, nil, nil)
+		}
+		peak = out.peak
+	}
+	return st.calls
+}

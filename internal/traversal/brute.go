@@ -1,0 +1,137 @@
+package traversal
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/tree"
+)
+
+// BruteForceLimit is the largest tree BruteForce accepts: frontier states
+// are encoded as 64-bit masks.
+const BruteForceLimit = 63
+
+// qitem is a prioritized frontier state for BruteForce.
+type qitem struct {
+	state uint64
+	cost  int64
+}
+
+type bottleneckHeap []qitem
+
+func (h bottleneckHeap) Len() int           { return len(h) }
+func (h bottleneckHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h bottleneckHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bottleneckHeap) Push(x interface{}) {
+	*h = append(*h, x.(qitem))
+}
+func (h *bottleneckHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BruteForce computes the exact MinMemory value by a bottleneck-shortest-
+// path search over frontier states (the set of scheduled-but-unprocessed
+// nodes). It is exponential in the worst case and restricted to trees with
+// at most BruteForceLimit nodes; use it as a ground-truth oracle in tests.
+func BruteForce(t *tree.Tree) (Result, error) {
+	p := t.Len()
+	if p > BruteForceLimit {
+		return Result{}, fmt.Errorf("traversal: brute force limited to %d nodes, got %d", BruteForceLimit, p)
+	}
+	// State: bitmask of frontier nodes. Start: {root}. Goal: empty set.
+	// Transition: process node i in the frontier; the peak of the step is
+	// Σ_{frontier} f + n_i + Σ_{children(i)} f. Minimize the maximum peak
+	// along the path (bottleneck Dijkstra).
+	start := uint64(1) << uint(t.Root())
+	childMask := make([]uint64, p)
+	childSum := make([]int64, p)
+	for i := 0; i < p; i++ {
+		for k := 0; k < t.NumChildren(i); k++ {
+			c := t.Child(i, k)
+			childMask[i] |= uint64(1) << uint(c)
+			childSum[i] += t.F(c)
+		}
+	}
+	best := map[uint64]int64{start: 0}
+	frontSum := map[uint64]int64{start: t.F(t.Root())}
+	prev := map[uint64]uint64{}
+	prevNode := map[uint64]int{}
+	pq := &bottleneckHeap{{start, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(qitem)
+		if it.cost > best[it.state] {
+			continue
+		}
+		if it.state == 0 {
+			// Walk predecessor links back to the start state; each link
+			// undoes exactly one node execution, so p steps suffice.
+			order := make([]int, 0, p)
+			s := uint64(0)
+			for len(order) < p {
+				order = append(order, prevNode[s])
+				s = prev[s]
+			}
+			return Result{Memory: it.cost, Order: tree.ReverseOrder(order)}, nil
+		}
+		fs := frontSum[it.state]
+		rem := it.state
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			peak := fs + t.N(i) + childSum[i]
+			nc := maxInt64(it.cost, peak)
+			ns := it.state&^(uint64(1)<<uint(i)) | childMask[i]
+			if old, ok := best[ns]; !ok || nc < old {
+				best[ns] = nc
+				frontSum[ns] = fs - t.F(i) + childSum[i]
+				prev[ns] = it.state
+				prevNode[ns] = i
+				heap.Push(pq, qitem{ns, nc})
+			}
+		}
+	}
+	return Result{}, fmt.Errorf("traversal: brute force found no traversal (unreachable)")
+}
+
+// EnumerateMinMemory exhaustively enumerates every topological (top-down)
+// traversal of t and returns the minimum peak. Only intended for very small
+// trees (≤ 12 nodes) as an independent oracle for BruteForce itself.
+func EnumerateMinMemory(t *tree.Tree) (int64, error) {
+	const limit = 12
+	if t.Len() > limit {
+		return 0, fmt.Errorf("traversal: enumeration limited to %d nodes, got %d", limit, t.Len())
+	}
+	best := int64(Infinite)
+	frontier := []int{t.Root()}
+	readySum := t.F(t.Root())
+	var rec func(done int, cur int64)
+	rec = func(done int, cur int64) {
+		if cur >= best {
+			return // prune: the bottleneck cannot improve along this branch
+		}
+		if done == t.Len() {
+			best = cur
+			return
+		}
+		for idx := 0; idx < len(frontier); idx++ {
+			i := frontier[idx]
+			peak := readySum + t.N(i) + t.ChildFileSum(i)
+			savedFrontier := make([]int, len(frontier))
+			copy(savedFrontier, frontier)
+			savedSum := readySum
+			frontier = append(frontier[:idx], frontier[idx+1:]...)
+			frontier = t.Children(i, frontier)
+			readySum += t.ChildFileSum(i) - t.F(i)
+			rec(done+1, maxInt64(cur, peak))
+			frontier = savedFrontier
+			readySum = savedSum
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

@@ -1,0 +1,105 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The .tree text format is line oriented:
+//
+//	# comment
+//	p <number-of-nodes>
+//	<node> <parent> <f> <n>
+//
+// one node line per node, parent −1 for the root. Node ids are 0-based.
+
+// Write serializes t in the .tree text format.
+func (t *Tree) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d\n", t.Len()); err != nil {
+		return err
+	}
+	for i := 0; i < t.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", i, t.Parent(i), t.F(i), t.N(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a tree in the .tree text format.
+func Read(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var (
+		parent []int
+		f, n   []int64
+		seen   []bool
+		p      = -1
+		line   = 0
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "p" {
+			if p != -1 {
+				return nil, fmt.Errorf("tree: line %d: duplicate header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tree: line %d: malformed header %q", line, text)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("tree: line %d: bad node count %q", line, fields[1])
+			}
+			p = v
+			parent = make([]int, p)
+			f = make([]int64, p)
+			n = make([]int64, p)
+			seen = make([]bool, p)
+			continue
+		}
+		if p == -1 {
+			return nil, fmt.Errorf("tree: line %d: node line before header", line)
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tree: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 || id >= p {
+			return nil, fmt.Errorf("tree: line %d: bad node id %q", line, fields[0])
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("tree: line %d: duplicate node %d", line, id)
+		}
+		seen[id] = true
+		if parent[id], err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("tree: line %d: bad parent %q", line, fields[1])
+		}
+		if f[id], err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("tree: line %d: bad f %q", line, fields[2])
+		}
+		if n[id], err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("tree: line %d: bad n %q", line, fields[3])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == -1 {
+		return nil, fmt.Errorf("tree: missing header")
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("tree: node %d missing", id)
+		}
+	}
+	return New(parent, f, n)
+}

@@ -1,0 +1,114 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomOptions controls random tree generation.
+type RandomOptions struct {
+	// Nodes is the number of nodes p (must be ≥ 1).
+	Nodes int
+	// MaxF is the inclusive upper bound on input file sizes (drawn uniformly
+	// from [1, MaxF]).
+	MaxF int64
+	// MaxN is the inclusive upper bound on execution file sizes (drawn
+	// uniformly from [0, MaxN]).
+	MaxN int64
+	// Attach selects the shape distribution. See AttachKind.
+	Attach AttachKind
+}
+
+// AttachKind selects how random trees are grown.
+type AttachKind int
+
+const (
+	// AttachUniform attaches node i to a uniformly random earlier node,
+	// yielding "random recursive trees" (log-depth, moderate fan-out).
+	AttachUniform AttachKind = iota
+	// AttachPreferential attaches proportionally to 1+degree, yielding
+	// skewed, high-fan-out trees.
+	AttachPreferential
+	// AttachChainy attaches to the most recent node with probability 1/2 and
+	// uniformly otherwise, yielding deep, chain-like trees similar to
+	// minimum-degree elimination trees.
+	AttachChainy
+)
+
+// Random generates a random tree with the given options using rng. It is
+// deterministic for a fixed seed.
+func Random(rng *rand.Rand, opt RandomOptions) (*Tree, error) {
+	if opt.Nodes < 1 {
+		return nil, fmt.Errorf("tree: random tree needs ≥ 1 node, got %d", opt.Nodes)
+	}
+	if opt.MaxF < 1 {
+		return nil, fmt.Errorf("tree: random tree needs MaxF ≥ 1, got %d", opt.MaxF)
+	}
+	if opt.MaxN < 0 {
+		return nil, fmt.Errorf("tree: random tree needs MaxN ≥ 0, got %d", opt.MaxN)
+	}
+	p := opt.Nodes
+	parent := make([]int, p)
+	parent[0] = NoParent
+	deg := make([]int, p) // used by preferential attachment: 1 + #children
+	deg[0] = 1
+	total := 1
+	for i := 1; i < p; i++ {
+		var par int
+		switch opt.Attach {
+		case AttachPreferential:
+			r := rng.Intn(total)
+			for par = 0; par < i; par++ {
+				r -= deg[par]
+				if r < 0 {
+					break
+				}
+			}
+		case AttachChainy:
+			if rng.Intn(2) == 0 {
+				par = i - 1
+			} else {
+				par = rng.Intn(i)
+			}
+		default:
+			par = rng.Intn(i)
+		}
+		parent[i] = par
+		deg[par]++
+		deg[i] = 1
+		total += 2
+	}
+	f := make([]int64, p)
+	n := make([]int64, p)
+	for i := 0; i < p; i++ {
+		f[i] = 1 + rng.Int63n(opt.MaxF)
+		if opt.MaxN > 0 {
+			n[i] = rng.Int63n(opt.MaxN + 1)
+		}
+	}
+	return New(parent, f, n)
+}
+
+// RandomizeWeights returns a tree with the same shape as t but weights drawn
+// as in Section VI-E of the paper: execution files uniform in [1, N/500] and
+// input files uniform in [1, N], where N is the number of nodes. When
+// N/500 < 1 the execution-file bound is clamped to 1.
+func RandomizeWeights(t *Tree, rng *rand.Rand) *Tree {
+	p := t.Len()
+	maxN := int64(p) / 500
+	if maxN < 1 {
+		maxN = 1
+	}
+	f := make([]int64, p)
+	n := make([]int64, p)
+	for i := 0; i < p; i++ {
+		f[i] = 1 + rng.Int63n(int64(p))
+		n[i] = 1 + rng.Int63n(maxN)
+	}
+	out, err := t.WithWeights(f, n)
+	if err != nil {
+		// Shape is unchanged and weights are positive, so this cannot fail.
+		panic(err)
+	}
+	return out
+}

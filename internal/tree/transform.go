@@ -1,0 +1,86 @@
+package tree
+
+import "fmt"
+
+// FromReplacementModel converts an instance of the pebble-game "model with
+// replacement" (Section III-C, Figure 1) into the paper's model.
+//
+// In the replacement model a node i with input file f[i] needs
+// max(f[i], Σ_{j∈Children(i)} f[j]) memory to run: the input file is
+// replaced in place by the output files. The equivalent instance in the
+// current model keeps the same file sizes and sets
+//
+//	n[i] = −min(f[i], Σ_{j∈Children(i)} f[j])
+//
+// so that MemReq(i) = f[i] + n[i] + Σ f[j] = max(f[i], Σ f[j]).
+func FromReplacementModel(parent []int, f []int64) (*Tree, error) {
+	shape, err := New(parent, f, make([]int64, len(f)))
+	if err != nil {
+		return nil, err
+	}
+	n := make([]int64, len(f))
+	for i := range f {
+		cs := shape.ChildFileSum(i)
+		n[i] = -min64(f[i], cs)
+	}
+	return New(parent, f, n)
+}
+
+// LiuModelNode describes one original node x of Liu's 1987 bottom-up
+// framework, in which x is expanded into x+ (during processing) and x−
+// (after processing). NPlus is the cost n_{x+}: the number of factor
+// nonzeros live while column x is processed (the memory peak of x). NMinus
+// is n_{x−}: the nonzeros of the subtree rooted at x still required after x
+// has been processed (the storage requirement of the subtree).
+type LiuModelNode struct {
+	Parent int
+	NPlus  int64
+	NMinus int64
+}
+
+// FromLiuModel converts an instance of Liu's x+/x− model (Section III-C,
+// Figure 2) into the paper's model: each pair (x+, x−) is merged back into a
+// single node x with input file f[x] = n_{x−} and execution cost
+//
+//	n[x] = n_{x+} − n_{x−} − Σ_{j ∈ Children(x)} n_{j−}
+//
+// so that MemReq(x) = n_{x+} and the retained file is n_{x−}.
+func FromLiuModel(nodes []LiuModelNode) (*Tree, error) {
+	p := len(nodes)
+	parent := make([]int, p)
+	f := make([]int64, p)
+	for i, nd := range nodes {
+		parent[i] = nd.Parent
+		f[i] = nd.NMinus
+		if nd.NMinus < 0 {
+			return nil, fmt.Errorf("tree: node %d has negative n_minus %d", i, nd.NMinus)
+		}
+	}
+	shape, err := New(parent, f, make([]int64, p))
+	if err != nil {
+		return nil, err
+	}
+	n := make([]int64, p)
+	for i, nd := range nodes {
+		var childMinus int64
+		for k := 0; k < shape.NumChildren(i); k++ {
+			childMinus += nodes[shape.Child(i, k)].NMinus
+		}
+		n[i] = nd.NPlus - nd.NMinus - childMinus
+	}
+	return New(parent, f, n)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
