@@ -3,10 +3,15 @@
 // Table I/II-style statistic blocks and ASCII performance profiles for the
 // figures; -csv writes machine-readable profile curves next to them.
 //
+// The grid experiment runs an arbitrary (instance × algorithm) grid on the
+// schedule batch evaluator, streaming one row per cell as it completes and
+// exporting the rows as CSV and JSON Lines.
+//
 // Usage:
 //
 //	experiments -exp all -scale medium
 //	experiments -exp fig7 -scale full -csv out/
+//	experiments -exp grid -algos postorder,liu,minmem -csv out/
 package main
 
 import (
@@ -16,10 +21,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/profile"
+	"repro/internal/schedule"
+	"repro/internal/tree"
 )
 
 func main() {
@@ -31,11 +39,12 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | all")
+	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | grid | all")
 	scaleName := fs.String("scale", "medium", "dataset scale: small | medium | full")
 	csvDir := fs.String("csv", "", "directory for CSV profile exports (optional)")
 	seeds := fs.Int("seeds", 3, "random-weight copies per tree for table2/fig9")
-	workers := fs.Int("workers", 0, "parallel workers for table1 (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel workers for table1 and grid (0 = GOMAXPROCS)")
+	algos := fs.String("algos", "postorder,liu,minmem", "MinMemory algorithms for the grid experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +88,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	var insts []dataset.Instance
-	needSuite := want("table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "ablation")
+	needSuite := want("table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "ablation", "grid")
 	if needSuite {
 		var err error
 		insts, err = dataset.AssemblySuite(scale)
@@ -122,7 +131,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, experiments.FormatCurveSummaries(curves))
 		counts := tr.FastestCounts()
 		for _, alg := range experiments.TimingAlgorithms {
-			fmt.Fprintf(w, "  %-10s fastest (or tied) on %d/%d instances\n", alg, counts[alg], len(tr.Names))
+			fmt.Fprintf(w, "  %-10s fastest (or tied) on %d/%d instances\n", schedule.DisplayName(alg), counts[alg], len(tr.Names))
 		}
 		fmt.Fprintln(w)
 		if err := writeCSV("fig6", curves, 5); err != nil {
@@ -190,6 +199,83 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprint(w, out)
 		fmt.Fprintln(w)
 	}
+	if want("grid") {
+		if err := runGrid(w, insts, *algos, *workers, *csvDir); err != nil {
+			return err
+		}
+	}
+	return runTheorems(w, want)
+}
+
+// runGrid evaluates an (instance × algorithm) grid on the schedule batch
+// evaluator: every MinMemory algorithm in algos on every instance, plus the
+// six eviction policies replaying MinMem traversals across the memory
+// sweep. Rows stream to w as they complete; with csvDir set they are also
+// exported as grid.csv and grid.jsonl.
+func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, csvDir string) error {
+	gridInsts := make([]schedule.Instance, len(insts))
+	for i, inst := range insts {
+		gridInsts[i] = schedule.Instance{Name: inst.Name, Tree: inst.Tree}
+	}
+	var algNames []string
+	for _, n := range strings.Split(algos, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			algNames = append(algNames, n)
+		}
+	}
+	jobs := schedule.MinMemoryGrid(gridInsts, algNames)
+	// Policy sweep budgets: the trivial floor and the midpoint to the
+	// in-core optimum, read off the orderBy (minmem) outcome the grid has
+	// already computed.
+	memories := func(t *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		lo := t.MaxMemReq()
+		if mid := (lo + out.Memory) / 2; mid != lo {
+			return []int64{lo, mid}, nil
+		}
+		return []int64{lo}, nil
+	}
+	polJobs, err := schedule.MinIOGrid(context.Background(), gridInsts, "minmem", schedule.EvictionPolicyNames(), memories, workers)
+	if err != nil {
+		return err
+	}
+	jobs = append(jobs, polJobs...)
+	fmt.Fprintf(w, "Grid — %d jobs (%d instances × {%s} + policy sweep), streamed as completed\n",
+		len(jobs), len(insts), strings.Join(algNames, ","))
+	fmt.Fprintf(w, "  %-24s %-12s %10s %12s %12s\n", "instance", "algorithm", "budget", "memory", "io")
+	rows, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{
+		Workers: workers,
+		OnRow: func(r schedule.Row) {
+			fmt.Fprintf(w, "  %-24s %-12s %10d %12d %12d\n", r.Instance, r.Algorithm, r.Budget, r.Memory, r.IO)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %d rows\n\n", len(rows))
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(csvDir, "grid.csv"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := schedule.WriteRowsCSV(cf, rows); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(csvDir, "grid.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	return schedule.WriteRowsJSON(jf, rows)
+}
+
+// runTheorems prints the Theorem 1 and 2 demonstrations.
+func runTheorems(w io.Writer, want func(...string) bool) error {
 	if want("theorem1") {
 		rows, err := experiments.RunTheorem1(4, 6, 400, 1)
 		if err != nil {

@@ -1,7 +1,8 @@
 // Command minio simulates out-of-core traversals: given a .tree file and a
 // main-memory budget, it runs the paper's six eviction heuristics on a
 // chosen traversal and reports the I/O volume of each, plus the divisible
-// lower bound.
+// lower bound. Both the traversal algorithm and the policies are resolved
+// by name through the schedule registry.
 //
 // Usage:
 //
@@ -15,9 +16,13 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/minio"
-	"repro/internal/traversal"
+	"repro/internal/schedule"
 	"repro/internal/tree"
+
+	// Register the MinMemory solvers and the MinIO oracles (including the
+	// divisible lower bound) with the schedule registry.
+	_ "repro/internal/minio"
+	_ "repro/internal/traversal"
 )
 
 func main() {
@@ -32,7 +37,7 @@ func run(args []string, w io.Writer) error {
 	in := fs.String("in", "", "input .tree file (default stdin)")
 	mem := fs.Int64("mem", 0, "main memory size (overrides -frac)")
 	frac := fs.Float64("frac", 0.5, "memory as a fraction between MaxMemReq (0) and the in-core optimum (1)")
-	trav := fs.String("traversal", "minmem", "traversal: minmem | postorder | liu")
+	trav := fs.String("traversal", "minmem", "traversal algorithm (any registered MinMemory solver)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,19 +54,30 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var res traversal.Result
-	switch *trav {
-	case "minmem":
-		res = traversal.MinMem(t)
-	case "postorder":
-		res = traversal.BestPostOrder(t)
-	case "liu":
-		res = traversal.LiuExact(t)
-	default:
-		return fmt.Errorf("unknown traversal %q", *trav)
+	travAlg, err := schedule.Lookup(*trav)
+	if err != nil {
+		return err
+	}
+	if travAlg.Kind() != schedule.KindMinMemory {
+		return fmt.Errorf("algorithm %q is not a MinMemory solver", *trav)
+	}
+	res, err := travAlg.Run(schedule.Request{Tree: t})
+	if err != nil {
+		return fmt.Errorf("%s: %w", *trav, err)
+	}
+	if res.Order == nil {
+		return fmt.Errorf("%s proves a memory value but exhibits no traversal to replay", *trav)
 	}
 	lo := t.MaxMemReq()
-	hi := traversal.MinMem(t).Memory
+	optAlg, err := schedule.Lookup("minmem")
+	if err != nil {
+		return err
+	}
+	opt, err := optAlg.Run(schedule.Request{Tree: t})
+	if err != nil {
+		return err
+	}
+	hi := opt.Memory
 	m := *mem
 	if m == 0 {
 		if *frac < 0 || *frac > 1 {
@@ -74,18 +90,27 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "tree: %d nodes, MaxMemReq %d, in-core optimum %d\n", t.Len(), lo, hi)
 	fmt.Fprintf(w, "traversal: %s (needs %d in-core), memory M=%d\n", *trav, res.Memory, m)
-	lb, err := minio.LowerBoundDivisible(t, res.Order, m)
+	fmt.Fprintf(w, "%-16s %12s %8s\n", "policy", "IO volume", "writes")
+	req := schedule.Request{Tree: t, Order: res.Order, Memory: m}
+	for _, name := range schedule.EvictionPolicyNames() {
+		pol, err := schedule.Lookup(name)
+		if err != nil {
+			return err
+		}
+		sim, err := pol.Run(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "%-16s %12d %8d\n", schedule.DisplayName(name), sim.IO, len(sim.Writes))
+	}
+	lbAlg, err := schedule.Lookup("divisible-bound")
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-16s %12s %8s\n", "policy", "IO volume", "writes")
-	for _, pol := range minio.Policies {
-		sim, err := minio.Simulate(t, res.Order, m, pol)
-		if err != nil {
-			return fmt.Errorf("%v: %w", pol, err)
-		}
-		fmt.Fprintf(w, "%-16s %12d %8d\n", pol.String(), sim.IO, len(sim.Writes))
+	lb, err := lbAlg.Run(req)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(w, "%-16s %12d    (divisible relaxation, same traversal)\n", "lower bound", lb)
+	fmt.Fprintf(w, "%-16s %12d    (divisible relaxation, same traversal)\n", "lower bound", lb.IO)
 	return nil
 }

@@ -1,11 +1,15 @@
-// Command minmem solves the MinMemory problem on a .tree file with the
-// three algorithms of the paper (best postorder, Liu's exact algorithm, the
-// new MinMem) and reports memory values, run times and a cross-check of
-// every returned traversal against the Algorithm 1 feasibility checker.
+// Command minmem solves the MinMemory problem on a .tree file with any of
+// the registered algorithms (best postorder, Liu's exact algorithm, the new
+// MinMem, the brute-force oracles, …) and reports memory values, run times
+// and a cross-check of every returned traversal against the Algorithm 1
+// feasibility checker. Algorithms are selected by name from the schedule
+// registry; there is no hard-wired dispatch.
 //
 // Usage:
 //
-//	minmem -in workflow.tree [-algo all|postorder|liu|minmem]
+//	minmem -in workflow.tree [-algo postorder,liu,minmem]
+//	minmem -in workflow.tree -algo all      # every registered solver
+//	minmem -list                            # print the registry
 package main
 
 import (
@@ -13,9 +17,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/traversal"
+	"repro/internal/schedule"
+	"repro/internal/traversal" // also registers the MinMemory solvers
 	"repro/internal/tree"
 )
 
@@ -29,9 +35,31 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("minmem", flag.ContinueOnError)
 	in := fs.String("in", "", "input .tree file (default stdin)")
-	algo := fs.String("algo", "all", "algorithm: all | postorder | liu | minmem")
+	algo := fs.String("algo", "postorder,liu,minmem",
+		"comma-separated MinMemory algorithms from the registry, or \"all\"")
+	list := fs.Bool("list", false, "list the registered MinMemory algorithms and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range schedule.NamesByKind(schedule.KindMinMemory) {
+			fmt.Fprintf(w, "%-20s %s\n", name, schedule.DisplayName(name))
+		}
+		return nil
+	}
+	var names []string
+	lenient := *algo == "all" // "all" skips solvers inapplicable to this tree (e.g. size-limited oracles)
+	if lenient {
+		names = schedule.NamesByKind(schedule.KindMinMemory)
+	} else {
+		for _, n := range strings.Split(*algo, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no algorithm selected")
 	}
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -48,31 +76,33 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "tree: %d nodes, depth %d, MaxMemReq %d, ΣF %d\n",
 		t.Len(), t.Depth(), t.MaxMemReq(), t.TotalF())
-	type alg struct {
-		name string
-		f    func(*tree.Tree) traversal.Result
-	}
-	algs := []alg{
-		{"postorder", traversal.BestPostOrder},
-		{"liu", traversal.LiuExact},
-		{"minmem", traversal.MinMem},
-	}
-	ran := 0
-	for _, a := range algs {
-		if *algo != "all" && *algo != a.name {
-			continue
+	for _, name := range names {
+		alg, err := schedule.Lookup(name)
+		if err != nil {
+			return err
 		}
-		ran++
+		if alg.Kind() != schedule.KindMinMemory {
+			return fmt.Errorf("algorithm %q is not a MinMemory solver", name)
+		}
 		start := time.Now()
-		res := a.f(t)
-		elapsed := time.Since(start)
-		if err := traversal.CheckInCore(t, res.Order, res.Memory); err != nil {
-			return fmt.Errorf("%s: returned traversal failed the checker: %w", a.name, err)
+		res, err := alg.Run(schedule.Request{Tree: t})
+		if err != nil {
+			if lenient {
+				fmt.Fprintf(w, "%-18s skipped: %v\n", name, err)
+				continue
+			}
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Fprintf(w, "%-10s memory=%-12d time=%-12s (traversal verified)\n", a.name, res.Memory, elapsed)
-	}
-	if ran == 0 {
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		elapsed := time.Since(start)
+		note := "(no traversal exhibited)"
+		if res.Order != nil {
+			// Algorithm 1: the returned traversal must fit the claimed memory.
+			if err := traversal.CheckInCore(t, res.Order, res.Memory); err != nil {
+				return fmt.Errorf("%s: returned traversal failed the checker: %w", name, err)
+			}
+			note = "(traversal verified)"
+		}
+		fmt.Fprintf(w, "%-18s memory=%-12d time=%-12s %s\n", name, res.Memory, elapsed, note)
 	}
 	return nil
 }

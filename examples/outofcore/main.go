@@ -1,18 +1,22 @@
 // Outofcore explores the MinIO side of the paper: an assembly tree is
 // executed with less and less main memory, and the six eviction heuristics
 // of Section V-B are compared on the resulting I/O volume, together with
-// the divisible lower bound.
+// the divisible lower bound. Policies and the lower bound are resolved by
+// name from the schedule registry and replayed by the unified simulator.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/minio"
 	"repro/internal/ordering"
+	"repro/internal/schedule"
 	"repro/internal/sparse"
 	"repro/internal/symbolic"
-	"repro/internal/traversal"
+
+	// Register the MinMemory solvers and the divisible lower bound.
+	_ "repro/internal/minio"
+	_ "repro/internal/traversal"
 )
 
 func main() {
@@ -36,32 +40,47 @@ func main() {
 	}
 	t := res.Tree
 	lo := t.MaxMemReq()
-	po := traversal.BestPostOrder(t) // PostOrder wins for out-of-core (Figure 8)
+	// PostOrder wins for out-of-core (Figure 8).
+	po, err := mustRun("postorder", schedule.Request{Tree: t})
+	if err != nil {
+		log.Fatal(err)
+	}
 	hi := po.Memory
 	order := po.Order
+	policies := schedule.EvictionPolicyNames()
 	fmt.Printf("assembly tree: %d nodes; this traversal needs %d in-core, absolute floor %d\n\n", t.Len(), hi, lo)
 	fmt.Printf("%-10s", "memory")
-	for _, pol := range minio.Policies {
-		fmt.Printf(" %13s", pol)
+	for _, pol := range policies {
+		fmt.Printf(" %13s", schedule.DisplayName(pol))
 	}
 	fmt.Printf(" %13s\n", "lower bound")
 	for _, fr := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		mem := lo + int64(fr*float64(hi-lo))
 		fmt.Printf("%-10d", mem)
-		for _, pol := range minio.Policies {
-			sim, err := minio.Simulate(t, order, mem, pol)
+		req := schedule.Request{Tree: t, Order: order, Memory: mem}
+		for _, pol := range policies {
+			sim, err := mustRun(pol, req)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf(" %13d", sim.IO)
 		}
-		lb, err := minio.LowerBoundDivisible(t, order, mem)
+		lb, err := mustRun("divisible-bound", req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf(" %13d\n", lb)
+		fmt.Printf(" %13d\n", lb.IO)
 	}
 	fmt.Println("\nI/O falls to zero once memory reaches the traversal's in-core need. The")
 	fmt.Println("divisible bound shrinks smoothly, while integral policies pay for whole")
 	fmt.Println("files — the gap is the price of indivisibility that makes MinIO NP-hard.")
+}
+
+// mustRun resolves an algorithm by name and runs it.
+func mustRun(name string, req schedule.Request) (schedule.Outcome, error) {
+	alg, err := schedule.Lookup(name)
+	if err != nil {
+		return schedule.Outcome{}, err
+	}
+	return alg.Run(req)
 }

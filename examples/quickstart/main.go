@@ -1,14 +1,15 @@
 // Quickstart: build a small tree workflow by hand, solve MinMemory with the
 // three algorithms of the paper, and run an out-of-core simulation under a
-// tight memory budget.
+// tight memory budget. Every solver is selected by name from the schedule
+// registry — the same engine the binaries and experiments use.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/minio"
-	"repro/internal/traversal"
+	"repro/internal/schedule"
+	"repro/internal/traversal" // also registers the MinMemory solvers
 	"repro/internal/tree"
 )
 
@@ -31,28 +32,43 @@ func main() {
 	fmt.Printf("workflow: %d tasks, trivial lower bound max MemReq = %d\n\n", t.Len(), t.MaxMemReq())
 
 	// MinMemory: what is the smallest main memory that lets the whole tree
-	// run without touching secondary storage?
-	po := traversal.BestPostOrder(t) // Liu 1986: best among postorders
-	liu := traversal.LiuExact(t)     // Liu 1987: exact, hill–valley merges
-	mm := traversal.MinMem(t)        // this paper: exact, top-down Explore
-	fmt.Printf("best postorder : %d units, order %v\n", po.Memory, po.Order)
-	fmt.Printf("Liu exact      : %d units, order %v\n", liu.Memory, liu.Order)
-	fmt.Printf("MinMem (paper) : %d units, order %v\n\n", mm.Memory, mm.Order)
+	// run without touching secondary storage? Three algorithms, by name:
+	// Liu 1986 (best postorder), Liu 1987 (exact, hill–valley merges), and
+	// this paper's exact MinMem (top-down Explore).
+	var minmem schedule.Outcome
+	for _, name := range []string{"postorder", "liu", "minmem"} {
+		alg, err := schedule.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := alg.Run(schedule.Request{Tree: t})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s: %d units, order %v\n", schedule.DisplayName(name), res.Memory, res.Order)
+		minmem = res
+	}
+	fmt.Println()
 
-	// Every order can be validated against Algorithm 1 of the paper.
-	if err := traversal.CheckInCore(t, mm.Order, mm.Memory); err != nil {
+	// Every order can be validated against Algorithm 1 of the paper (the
+	// checker replays it through the unified simulator).
+	if err := traversal.CheckInCore(t, minmem.Order, minmem.Memory); err != nil {
 		log.Fatal(err)
 	}
 
 	// MinIO: with less memory than the in-core optimum, files must be
 	// written to secondary storage. Compare two eviction heuristics.
 	m := t.MaxMemReq() // tightest feasible memory
-	for _, pol := range []minio.Policy{minio.LSNF, minio.FirstFit} {
-		sim, err := minio.Simulate(t, mm.Order, m, pol)
+	for _, name := range []string{"lsnf", "first-fit"} {
+		pol, err := schedule.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pol.Run(schedule.Request{Tree: t, Order: minmem.Order, Memory: m})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("out-of-core with M=%d, %-9s: I/O volume %d (%d files written)\n",
-			m, pol, sim.IO, len(sim.Writes))
+			m, schedule.DisplayName(name), res.IO, len(res.Writes))
 	}
 }

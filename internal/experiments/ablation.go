@@ -6,35 +6,25 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
-	"repro/internal/minio"
-	"repro/internal/runner"
+	"repro/internal/schedule"
 	"repro/internal/traversal"
 )
 
-// RunMemoryComparisonParallel is RunMemoryComparison fanned out over a
-// worker pool; results are bit-identical to the sequential run (verified in
-// tests) because instances are independent.
+// RunMemoryComparisonParallel is RunMemoryComparison fanned out on the
+// schedule batch evaluator; results are bit-identical to the sequential run
+// (verified in tests) because instances are independent.
 func RunMemoryComparisonParallel(ctx context.Context, insts []dataset.Instance, workers int) (MemoryComparison, error) {
-	type row struct {
-		name    string
-		po, opt int64
-	}
-	rows, err := runner.Map(ctx, len(insts), workers, func(i int) (row, error) {
-		inst := insts[i]
-		return row{
-			name: inst.Name,
-			po:   traversal.BestPostOrder(inst.Tree).Memory,
-			opt:  traversal.MinMem(inst.Tree).Memory,
-		}, nil
-	})
+	algs := []string{"postorder", "minmem"}
+	jobs := schedule.MinMemoryGrid(toGridInstances(insts), algs)
+	rows, err := schedule.RunBatch(ctx, jobs, schedule.BatchOptions{Workers: workers})
 	if err != nil {
 		return MemoryComparison{}, err
 	}
 	mc := MemoryComparison{}
-	for _, r := range rows {
-		mc.Names = append(mc.Names, r.name)
-		mc.PostOrder = append(mc.PostOrder, r.po)
-		mc.Optimal = append(mc.Optimal, r.opt)
+	for i, inst := range insts {
+		mc.Names = append(mc.Names, inst.Name)
+		mc.PostOrder = append(mc.PostOrder, rows[i*len(algs)].Memory)
+		mc.Optimal = append(mc.Optimal, rows[i*len(algs)+1].Memory)
 	}
 	return mc, nil
 }
@@ -44,15 +34,19 @@ func RunMemoryComparisonParallel(ctx context.Context, insts []dataset.Instance, 
 // with the best postorder. Returns the fraction of instances where sorting
 // helps and the mean natural/best memory ratio.
 func AblationPostorderRule(insts []dataset.Instance) (fractionImproved, meanRatio float64) {
+	nat, best := mustLookup("natural-postorder"), mustLookup("postorder")
 	improved := 0
 	var sum float64
 	for _, inst := range insts {
-		nat := traversal.NaturalPostOrder(inst.Tree).Memory
-		best := traversal.BestPostOrder(inst.Tree).Memory
-		if nat > best {
+		natOut, err1 := nat.Run(schedule.Request{Tree: inst.Tree})
+		bestOut, err2 := best.Run(schedule.Request{Tree: inst.Tree})
+		if err1 != nil || err2 != nil {
+			panic(fmt.Sprintf("experiments: %s: %v %v", inst.Name, err1, err2))
+		}
+		if natOut.Memory > bestOut.Memory {
 			improved++
 		}
-		sum += float64(nat) / float64(best)
+		sum += float64(natOut.Memory) / float64(bestOut.Memory)
 	}
 	n := float64(len(insts))
 	return float64(improved) / n, sum / n
@@ -61,13 +55,21 @@ func AblationPostorderRule(insts []dataset.Instance) (fractionImproved, meanRati
 // AblationMinMemReuse quantifies the frontier reuse of Algorithm 4: the
 // total number of Explore invocations with and without carrying the saved
 // cut between memory lifts, summed over the suite. Both variants return
-// the same optimal memory (checked).
+// the same optimal memory (checked). The call counting uses the traversal
+// package's instrumentation directly — it is a cost probe, not a solver.
 func AblationMinMemReuse(insts []dataset.Instance) (withReuse, withoutReuse int64, err error) {
+	reuse, noReuse := mustLookup("minmem"), mustLookup("minmem-noreuse")
 	for _, inst := range insts {
-		a := traversal.MinMem(inst.Tree).Memory
-		b := traversal.MinMemNoReuse(inst.Tree).Memory
-		if a != b {
-			return 0, 0, fmt.Errorf("ablation: reuse changed the result on %s (%d vs %d)", inst.Name, a, b)
+		a, err := reuse.Run(schedule.Request{Tree: inst.Tree})
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := noReuse.Run(schedule.Request{Tree: inst.Tree})
+		if err != nil {
+			return 0, 0, err
+		}
+		if a.Memory != b.Memory {
+			return 0, 0, fmt.Errorf("ablation: reuse changed the result on %s (%d vs %d)", inst.Name, a.Memory, b.Memory)
 		}
 		withReuse += traversal.ExploreCalls(inst.Tree, true)
 		withoutReuse += traversal.ExploreCalls(inst.Tree, false)
@@ -80,12 +82,21 @@ func AblationMinMemReuse(insts []dataset.Instance) (withReuse, withoutReuse int6
 // MinMem traversals. Larger windows can only match or reduce each step's
 // overshoot at exponentially growing search cost.
 func AblationBestKWindow(insts []dataset.Instance, windows []int) (map[int]int64, error) {
+	minmem, bestK := mustLookup("minmem"), mustLookup("best-k")
 	out := make(map[int]int64, len(windows))
 	for _, k := range windows {
 		var total int64
 		for _, inst := range insts {
-			order := traversal.MinMem(inst.Tree).Order
-			sim, err := minio.SimulateWithWindow(inst.Tree, order, inst.Tree.MaxMemReq(), minio.BestKCombination, k)
+			order, err := minmem.Run(schedule.Request{Tree: inst.Tree})
+			if err != nil {
+				return nil, err
+			}
+			sim, err := bestK.Run(schedule.Request{
+				Tree:   inst.Tree,
+				Order:  order.Order,
+				Memory: inst.Tree.MaxMemReq(),
+				Window: k,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("ablation: %s K=%d: %w", inst.Name, k, err)
 			}

@@ -2,21 +2,49 @@
 // Each Run* function computes the raw data; the Format* helpers print it the
 // way the paper reports it. cmd/experiments and the repository-level
 // benchmarks are thin wrappers around this package.
+//
+// All solvers are driven by name through the schedule registry and executed
+// on the schedule batch evaluator; this package contains no per-algorithm
+// dispatch of its own.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/minio"
 	"repro/internal/profile"
-	"repro/internal/traversal"
+	"repro/internal/schedule"
 	"repro/internal/tree"
+
+	// Register the MinMemory solvers with the schedule registry; minio
+	// (imported above for the 2-Partition subroutine) and the schedule
+	// package itself register the MinIO side.
+	_ "repro/internal/traversal"
 )
+
+// mustLookup fetches a registered algorithm; the names used by this package
+// are registered by the imports above, so a miss is a programming error.
+func mustLookup(name string) schedule.Algorithm {
+	a, err := schedule.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// toGridInstances adapts dataset instances to the schedule batch evaluator.
+func toGridInstances(insts []dataset.Instance) []schedule.Instance {
+	out := make([]schedule.Instance, len(insts))
+	for i, inst := range insts {
+		out[i] = schedule.Instance{Name: inst.Name, Tree: inst.Tree}
+	}
+	return out
+}
 
 // MemoryComparison is the raw data behind Table I / Figure 5 (assembly
 // trees) and Table II / Figure 9 (random-weight trees).
@@ -29,13 +57,18 @@ type MemoryComparison struct {
 // RunMemoryComparison computes the best-postorder and optimal memory for
 // every instance.
 func RunMemoryComparison(insts []dataset.Instance) MemoryComparison {
+	po, opt := mustLookup("postorder"), mustLookup("minmem")
 	mc := MemoryComparison{}
 	for _, inst := range insts {
-		po := traversal.BestPostOrder(inst.Tree)
-		opt := traversal.MinMem(inst.Tree)
+		poOut, err1 := po.Run(schedule.Request{Tree: inst.Tree})
+		optOut, err2 := opt.Run(schedule.Request{Tree: inst.Tree})
+		if err1 != nil || err2 != nil {
+			// The exact solvers never fail on a valid tree.
+			panic(fmt.Sprintf("experiments: %s: %v %v", inst.Name, err1, err2))
+		}
 		mc.Names = append(mc.Names, inst.Name)
-		mc.PostOrder = append(mc.PostOrder, po.Memory)
-		mc.Optimal = append(mc.Optimal, opt.Memory)
+		mc.PostOrder = append(mc.PostOrder, poOut.Memory)
+		mc.Optimal = append(mc.Optimal, optOut.Memory)
 	}
 	return mc
 }
@@ -126,39 +159,40 @@ func FormatStats(title string, st Stats) string {
 // TimingResult is the raw data behind Figure 6.
 type TimingResult struct {
 	Names   []string
-	Seconds map[string][]float64 // algorithm → per-instance wall time
+	Seconds map[string][]float64 // algorithm (registry name) → per-instance wall time
 }
 
-// TimingAlgorithms is the display order of Figure 6.
-var TimingAlgorithms = []string{"MinMem", "PostOrder", "Liu"}
+// TimingAlgorithms is the display order of Figure 6 (registry names).
+var TimingAlgorithms = []string{"minmem", "postorder", "liu"}
 
 // RunTimings measures the wall-clock time of the three MinMemory algorithms
-// on every instance (one run each; the algorithms are deterministic).
+// on every instance (one run each, on a single worker so measurements do not
+// contend; the algorithms are deterministic).
 func RunTimings(insts []dataset.Instance) TimingResult {
-	tr := TimingResult{Seconds: map[string][]float64{}}
-	run := func(name string, f func(t *tree.Tree) traversal.Result, t *tree.Tree) {
-		start := time.Now()
-		res := f(t)
-		elapsed := time.Since(start).Seconds()
-		_ = res
-		tr.Seconds[name] = append(tr.Seconds[name], elapsed)
+	jobs := schedule.MinMemoryGrid(toGridInstances(insts), TimingAlgorithms)
+	rows, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{Workers: 1})
+	if err != nil {
+		panic(err) // the exact solvers never fail on a valid tree
 	}
+	tr := TimingResult{Seconds: map[string][]float64{}}
 	for _, inst := range insts {
 		tr.Names = append(tr.Names, inst.Name)
-		run("MinMem", traversal.MinMem, inst.Tree)
-		run("PostOrder", traversal.BestPostOrder, inst.Tree)
-		run("Liu", traversal.LiuExact, inst.Tree)
+	}
+	for _, row := range rows {
+		tr.Seconds[row.Algorithm] = append(tr.Seconds[row.Algorithm], row.Seconds)
 	}
 	return tr
 }
 
 // Profile returns Figure 6-style runtime curves.
 func (tr TimingResult) Profile() ([]profile.Curve, error) {
+	methods := make([]string, len(TimingAlgorithms))
 	costs := make([][]float64, len(TimingAlgorithms))
 	for i, alg := range TimingAlgorithms {
+		methods[i] = schedule.DisplayName(alg)
 		costs[i] = tr.Seconds[alg]
 	}
-	return profile.Compute(profile.Table{Methods: TimingAlgorithms, Costs: costs})
+	return profile.Compute(profile.Table{Methods: methods, Costs: costs})
 }
 
 // FastestCounts reports how often each algorithm was the (possibly tied)
@@ -187,10 +221,10 @@ func (tr TimingResult) FastestCounts() map[string]int {
 // in-core optimal (fraction 1), as in Section VI-D.
 var MemoryFractions = []float64{0, 1.0 / 3, 2.0 / 3}
 
-// sweepMemories returns the memory values for one tree, deduplicated.
-func sweepMemories(t *tree.Tree) []int64 {
+// sweepFromOptimum returns the memory values for one tree given its in-core
+// optimum hi, deduplicated.
+func sweepFromOptimum(t *tree.Tree, hi int64) []int64 {
 	lo := t.MaxMemReq()
-	hi := traversal.MinMem(t).Memory
 	var out []int64
 	for _, f := range MemoryFractions {
 		m := lo + int64(f*float64(hi-lo))
@@ -201,39 +235,57 @@ func sweepMemories(t *tree.Tree) []int64 {
 	return out
 }
 
+// sweepMemories is sweepFromOptimum with the optimum solved by minmem.
+func sweepMemories(t *tree.Tree) ([]int64, error) {
+	opt, err := mustLookup("minmem").Run(schedule.Request{Tree: t})
+	if err != nil {
+		return nil, err
+	}
+	return sweepFromOptimum(t, opt.Memory), nil
+}
+
 // HeuristicResult is the raw data behind Figure 7: I/O volume of every
-// eviction policy on the same traversals.
+// eviction policy on the same traversals, keyed by registry policy name.
 type HeuristicResult struct {
 	Cases  []string
-	Volume map[minio.Policy][]float64
+	Volume map[string][]float64
 }
 
 // RunHeuristics reproduces Figure 7: traversals from MinMem (the paper's
 // choice for this figure), every eviction policy, across the memory sweep.
+// The grid is evaluated concurrently; results are deterministic.
 func RunHeuristics(insts []dataset.Instance) (HeuristicResult, error) {
-	hr := HeuristicResult{Volume: map[minio.Policy][]float64{}}
-	for _, inst := range insts {
-		order := traversal.MinMem(inst.Tree).Order
-		for _, m := range sweepMemories(inst.Tree) {
-			hr.Cases = append(hr.Cases, fmt.Sprintf("%s@%d", inst.Name, m))
-			for _, pol := range minio.Policies {
-				sim, err := minio.Simulate(inst.Tree, order, m, pol)
-				if err != nil {
-					return hr, fmt.Errorf("experiments: %s M=%d %v: %w", inst.Name, m, pol, err)
-				}
-				hr.Volume[pol] = append(hr.Volume[pol], float64(sim.IO))
-			}
+	policies := schedule.EvictionPolicyNames()
+	// The orderBy solver is minmem, so its outcome already carries the
+	// in-core optimum the sweep is anchored on — no second solve.
+	memories := func(t *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		return sweepFromOptimum(t, out.Memory), nil
+	}
+	jobs, err := schedule.MinIOGrid(context.Background(), toGridInstances(insts), "minmem", policies, memories, 0)
+	if err != nil {
+		return HeuristicResult{}, err
+	}
+	rows, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		return HeuristicResult{}, err
+	}
+	hr := HeuristicResult{Volume: map[string][]float64{}}
+	for _, row := range rows {
+		if row.Algorithm == policies[0] {
+			hr.Cases = append(hr.Cases, fmt.Sprintf("%s@%d", row.Instance, row.Budget))
 		}
+		hr.Volume[row.Algorithm] = append(hr.Volume[row.Algorithm], float64(row.IO))
 	}
 	return hr, nil
 }
 
 // Profile returns Figure 7-style curves.
 func (hr HeuristicResult) Profile() ([]profile.Curve, error) {
-	methods := make([]string, len(minio.Policies))
-	costs := make([][]float64, len(minio.Policies))
-	for i, pol := range minio.Policies {
-		methods[i] = "MinMem + " + pol.String()
+	policies := schedule.EvictionPolicyNames()
+	methods := make([]string, len(policies))
+	costs := make([][]float64, len(policies))
+	for i, pol := range policies {
+		methods[i] = "MinMem + " + schedule.DisplayName(pol)
 		costs[i] = hr.Volume[pol]
 	}
 	return profile.Compute(profile.Table{Methods: methods, Costs: costs})
@@ -246,27 +298,53 @@ type TraversalIOResult struct {
 	Volume map[string][]float64
 }
 
-// TraversalAlgorithms is the display order of Figure 8.
-var TraversalAlgorithms = []string{"PostOrder + First Fit", "Liu + First Fit", "MinMem + First Fit"}
+// traversalIOOrderings are the MinMemory algorithms compared in Figure 8.
+var traversalIOOrderings = []string{"postorder", "liu", "minmem"}
 
-// RunTraversalIO reproduces Figure 8.
+// TraversalAlgorithms is the display order of Figure 8 (labels derived from
+// the registry display names).
+var TraversalAlgorithms = func() []string {
+	out := make([]string, len(traversalIOOrderings))
+	for i, alg := range traversalIOOrderings {
+		out[i] = schedule.DisplayName(alg) + " + " + schedule.DisplayName("first-fit")
+	}
+	return out
+}()
+
+// RunTraversalIO reproduces Figure 8: one MinIO grid per traversal
+// algorithm, all replayed under First Fit across the memory sweep.
 func RunTraversalIO(insts []dataset.Instance) (TraversalIOResult, error) {
 	tio := TraversalIOResult{Volume: map[string][]float64{}}
+	gridInsts := toGridInstances(insts)
+	// The budget sweep is a property of the instance, not of the ordering
+	// algorithm: compute it once per tree so the three grids below don't
+	// re-run the exact solver to rediscover identical budgets.
+	sweeps := make(map[*tree.Tree][]int64, len(insts))
 	for _, inst := range insts {
-		orders := map[string][]int{
-			"PostOrder + First Fit": traversal.BestPostOrder(inst.Tree).Order,
-			"Liu + First Fit":       traversal.LiuExact(inst.Tree).Order,
-			"MinMem + First Fit":    traversal.MinMem(inst.Tree).Order,
+		mems, err := sweepMemories(inst.Tree)
+		if err != nil {
+			return tio, err
 		}
-		for _, m := range sweepMemories(inst.Tree) {
-			tio.Cases = append(tio.Cases, fmt.Sprintf("%s@%d", inst.Name, m))
-			for name, order := range orders {
-				sim, err := minio.Simulate(inst.Tree, order, m, minio.FirstFit)
-				if err != nil {
-					return tio, fmt.Errorf("experiments: %s M=%d %s: %w", inst.Name, m, name, err)
-				}
-				tio.Volume[name] = append(tio.Volume[name], float64(sim.IO))
+		sweeps[inst.Tree] = mems
+	}
+	memories := func(t *tree.Tree, _ schedule.Outcome) ([]int64, error) { return sweeps[t], nil }
+	// One grid per ordering algorithm; the case list (instance × budget) is
+	// identical across grids, so it is recorded on the first.
+	for k, orderBy := range traversalIOOrderings {
+		jobs, err := schedule.MinIOGrid(context.Background(), gridInsts, orderBy, []string{"first-fit"}, memories, 0)
+		if err != nil {
+			return tio, err
+		}
+		rows, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{})
+		if err != nil {
+			return tio, err
+		}
+		label := TraversalAlgorithms[k]
+		for _, row := range rows {
+			if k == 0 {
+				tio.Cases = append(tio.Cases, fmt.Sprintf("%s@%d", row.Instance, row.Budget))
 			}
+			tio.Volume[label] = append(tio.Volume[label], float64(row.IO))
 		}
 	}
 	return tio, nil
@@ -294,22 +372,29 @@ type Theorem1Row struct {
 // RunTheorem1 builds nested harpoons of growing depth and checks the
 // algorithms against the closed forms of the proof.
 func RunTheorem1(b int, maxLevels int, m, eps int64) ([]Theorem1Row, error) {
+	po, opt := mustLookup("postorder"), mustLookup("minmem")
 	var rows []Theorem1Row
 	for l := 1; l <= maxLevels; l++ {
 		h, err := tree.NestedHarpoon(b, l, m, eps)
 		if err != nil {
 			return nil, err
 		}
-		po := traversal.BestPostOrder(h).Memory
-		opt := traversal.MinMem(h).Memory
+		poOut, err := po.Run(schedule.Request{Tree: h})
+		if err != nil {
+			return nil, err
+		}
+		optOut, err := opt.Run(schedule.Request{Tree: h})
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Theorem1Row{
 			Levels:    l,
 			Nodes:     h.Len(),
-			PostOrder: po,
-			Optimal:   opt,
+			PostOrder: poOut.Memory,
+			Optimal:   optOut.Memory,
 			WantPO:    tree.HarpoonPostOrderMemory(b, l, m, eps),
 			WantOpt:   tree.HarpoonOptimalMemory(b, l, m, eps),
-			Ratio:     float64(po) / float64(opt),
+			Ratio:     float64(poOut.Memory) / float64(optOut.Memory),
 		})
 	}
 	return rows, nil
@@ -328,6 +413,7 @@ type Theorem2Row struct {
 // checks that the reduction tree has MinIO ≤ S/2 exactly when the instance
 // is solvable.
 func RunTheorem2(cases int) ([]Theorem2Row, error) {
+	oracle := mustLookup("minio-brute")
 	rng := newDeterministicRand(2011)
 	var rows []Theorem2Row
 	for len(rows) < cases {
@@ -345,7 +431,7 @@ func RunTheorem2(cases int) ([]Theorem2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		io, err := minio.BruteForceMinIO(inst.Tree, inst.Memory)
+		out, err := oracle.Run(schedule.Request{Tree: inst.Tree, Memory: inst.Memory})
 		if err != nil {
 			return nil, err
 		}
@@ -353,9 +439,9 @@ func RunTheorem2(cases int) ([]Theorem2Row, error) {
 		rows = append(rows, Theorem2Row{
 			Items:      a,
 			Solvable:   solvable,
-			MinIO:      io,
+			MinIO:      out.IO,
 			Bound:      inst.IOBound,
-			Consistent: solvable == (io <= inst.IOBound),
+			Consistent: solvable == (out.IO <= inst.IOBound),
 		})
 	}
 	return rows, nil

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
-	"repro/internal/minio"
+	"repro/internal/schedule"
 )
 
 func smallSuite(t *testing.T) []dataset.Instance {
@@ -104,7 +104,7 @@ func TestHeuristicsAndTraversalIO(t *testing.T) {
 	if len(hr.Cases) == 0 {
 		t.Fatal("no heuristic cases")
 	}
-	for _, pol := range minio.Policies {
+	for _, pol := range schedule.EvictionPolicyNames() {
 		if len(hr.Volume[pol]) != len(hr.Cases) {
 			t.Fatalf("%v covered %d of %d cases", pol, len(hr.Volume[pol]), len(hr.Cases))
 		}

@@ -3,6 +3,7 @@ package minio
 import (
 	"fmt"
 
+	"repro/internal/schedule"
 	"repro/internal/tree"
 )
 
@@ -93,25 +94,25 @@ func LowerBoundDivisible(t *tree.Tree, order []int, m int64) (int64, error) {
 	for step, v := range order {
 		pos[v] = step
 	}
-	resident := newFileSet(pos)
+	resident := schedule.NewResidentSet(pos)
 	residentSum := t.F(t.Root())
 	// inMem[i]: bytes of file i still in memory (rest is on disk).
 	inMem := make([]int64, p)
 	if t.F(t.Root()) > 0 {
-		resident.add(t.Root())
+		resident.Add(t.Root())
 		inMem[t.Root()] = t.F(t.Root())
 	}
 	var io int64
 	for _, j := range order {
 		if inMem[j] > 0 {
 			// Fully evicted or zero-size files are not in the set.
-			resident.remove(j)
+			resident.Remove(j)
 			residentSum -= inMem[j]
 		}
 		need := residentSum + t.MemReq(j) - m
 		// Evict fractional bytes from the latest-consumed files first.
 		for need > 0 {
-			s := resident.ordered()
+			s := resident.Ordered()
 			if len(s) == 0 {
 				return 0, fmt.Errorf("minio: divisible bound infeasible (M below MemReq)")
 			}
@@ -125,7 +126,7 @@ func LowerBoundDivisible(t *tree.Tree, order []int, m int64) (int64, error) {
 			io += amt
 			need -= amt
 			if inMem[v] == 0 {
-				resident.remove(v)
+				resident.Remove(v)
 			}
 		}
 		inMem[j] = 0
@@ -133,7 +134,7 @@ func LowerBoundDivisible(t *tree.Tree, order []int, m int64) (int64, error) {
 			c := t.Child(j, k)
 			if t.F(c) > 0 {
 				inMem[c] = t.F(c)
-				resident.add(c)
+				resident.Add(c)
 				residentSum += t.F(c)
 			}
 		}

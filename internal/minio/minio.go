@@ -9,12 +9,17 @@
 // the exact solver — so the package provides the paper's six greedy
 // eviction heuristics (Section V-B) plus exact brute-force oracles for
 // small instances and a divisible-case lower bound.
+//
+// The eviction simulation itself lives in the schedule package — the single
+// traversal simulator shared with the in-core side — and the six policies
+// are schedule Evictors; this package keeps the Policy enum as the paper's
+// nomenclature, the exact oracles, and the Algorithm 2 checker.
 package minio
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/schedule"
 	"repro/internal/tree"
 )
 
@@ -46,38 +51,42 @@ const (
 )
 
 // BestKWindow is the K of BestKCombination.
-const BestKWindow = 5
+const BestKWindow = schedule.BestKWindow
 
 // Policies lists all heuristics in display order.
 var Policies = []Policy{LSNF, FirstFit, BestFit, FirstFill, BestFill, BestKCombination}
 
+// policyKeys maps each Policy to its schedule-registry name.
+var policyKeys = [...]string{
+	LSNF:             "lsnf",
+	FirstFit:         "first-fit",
+	BestFit:          "best-fit",
+	FirstFill:        "first-fill",
+	BestFill:         "best-fill",
+	BestKCombination: "best-k",
+}
+
+// RegistryName returns the schedule-registry name of the policy ("first-fit"
+// for FirstFit), or "" for an unknown policy.
+func (p Policy) RegistryName() string {
+	if p < LSNF || p > BestKCombination {
+		return ""
+	}
+	return policyKeys[p]
+}
+
 // String returns the paper's name for the policy.
 func (p Policy) String() string {
-	switch p {
-	case LSNF:
-		return "LSNF"
-	case FirstFit:
-		return "First Fit"
-	case BestFit:
-		return "Best Fit"
-	case FirstFill:
-		return "First Fill"
-	case BestFill:
-		return "Best Fill"
-	case BestKCombination:
-		return "Best K Comb."
-	default:
+	if p < LSNF || p > BestKCombination {
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+	return schedule.DisplayName(policyKeys[p])
 }
 
 // WriteEvent records one eviction: before executing order[Step], the input
-// file of Node (size Size) was written to secondary memory.
-type WriteEvent struct {
-	Step int
-	Node int
-	Size int64
-}
+// file of Node (size Size) was written to secondary memory. It is the
+// schedule package's event type.
+type WriteEvent = schedule.WriteEvent
 
 // Result is the outcome of an out-of-core simulation.
 type Result struct {
@@ -121,6 +130,7 @@ func Simulate(t *tree.Tree, order []int, m int64, pol Policy) (Result, error) {
 // SimulateWithWindow is Simulate with an explicit Best-K subset window
 // (only meaningful for BestKCombination; the paper fixes K = 5). The
 // ablation benchmarks sweep the window to show the quality/cost trade-off.
+// The replay itself is schedule.Simulate, the unified traversal simulator.
 func SimulateWithWindow(t *tree.Tree, order []int, m int64, pol Policy, window int) (Result, error) {
 	if pol < LSNF || pol > BestKCombination {
 		return Result{}, fmt.Errorf("minio: unknown eviction policy %d", int(pol))
@@ -128,83 +138,13 @@ func SimulateWithWindow(t *tree.Tree, order []int, m int64, pol Policy, window i
 	if window < 1 || window > 20 {
 		return Result{}, fmt.Errorf("minio: Best-K window %d out of range [1,20]", window)
 	}
-	if err := t.IsTopDownOrder(order); err != nil {
+	ev, err := schedule.EvictorByName(policyKeys[pol], window)
+	if err != nil {
 		return Result{}, err
 	}
-	p := t.Len()
-	pos := make([]int, p) // consumer step of each node's input file
-	for step, v := range order {
-		pos[v] = step
+	sim, err := schedule.Simulate(t, order, schedule.Config{Memory: m, Evict: ev})
+	if err != nil {
+		return Result{}, err
 	}
-	// resident holds produced, unconsumed, in-memory files sorted by
-	// consumer step descending (S of Section V-B: latest consumer first).
-	resident := newFileSet(pos)
-	resident.add(t.Root())
-	residentSum := t.F(t.Root())
-	onDisk := make([]bool, p)
-	var res Result
-	for step, j := range order {
-		if !onDisk[j] {
-			// The input file of j is resident; it is about to be consumed,
-			// so it is not an eviction candidate.
-			resident.remove(j)
-			residentSum -= t.F(j)
-		}
-		// Memory while executing j: the other resident files plus
-		// MemReq(j) = f(j) + n(j) + Σ children files (the input is staged
-		// back first when it was evicted, which needs the same room).
-		ioReq := residentSum + t.MemReq(j) - m
-		if ioReq > 0 {
-			victims, err := selectVictims(t, resident, ioReq, pol, window)
-			if err != nil {
-				return Result{}, fmt.Errorf("minio: step %d (node %d): %w", step, j, err)
-			}
-			for _, v := range victims {
-				resident.remove(v)
-				residentSum -= t.F(v)
-				onDisk[v] = true
-				res.IO += t.F(v)
-				res.Writes = append(res.Writes, WriteEvent{Step: step, Node: v, Size: t.F(v)})
-			}
-		}
-		if onDisk[j] {
-			onDisk[j] = false // read back, then consumed by executing j
-		}
-		// Execute j: n(j) and f(j) vanish, children files appear.
-		residentSum += t.ChildFileSum(j)
-		for k := 0; k < t.NumChildren(j); k++ {
-			resident.add(t.Child(j, k))
-		}
-		if residentSum > m {
-			return Result{}, fmt.Errorf("minio: internal accounting error at step %d", step)
-		}
-	}
-	return res, nil
+	return Result{IO: sim.IO, Writes: sim.Writes}, nil
 }
-
-// fileSet maintains resident files ordered by consumer step descending.
-type fileSet struct {
-	pos   []int // consumer step per node
-	nodes []int // sorted: pos[nodes[0]] > pos[nodes[1]] > …
-}
-
-func newFileSet(pos []int) *fileSet { return &fileSet{pos: pos} }
-
-func (s *fileSet) add(node int) {
-	i := sort.Search(len(s.nodes), func(k int) bool { return s.pos[s.nodes[k]] < s.pos[node] })
-	s.nodes = append(s.nodes, 0)
-	copy(s.nodes[i+1:], s.nodes[i:])
-	s.nodes[i] = node
-}
-
-func (s *fileSet) remove(node int) {
-	i := sort.Search(len(s.nodes), func(k int) bool { return s.pos[s.nodes[k]] <= s.pos[node] })
-	if i == len(s.nodes) || s.nodes[i] != node {
-		panic("minio: removing absent file")
-	}
-	s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
-}
-
-// ordered returns the current S (latest consumer first). The returned slice
-// is owned by the fileSet; do not mutate.
-func (s *fileSet) ordered() []int { return s.nodes }

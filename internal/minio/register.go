@@ -1,0 +1,33 @@
+package minio
+
+import (
+	"repro/internal/schedule"
+)
+
+// The exact MinIO oracles and the divisible lower bound register themselves
+// with the schedule engine next to the six greedy policies (which the
+// schedule package registers itself), so every solver of the paper is
+// reachable by name.
+func init() {
+	schedule.RegisterMinIO("minio-brute", "BruteForceMinIO", func(req schedule.Request) (schedule.Outcome, error) {
+		io, err := BruteForceMinIO(req.Tree, req.Memory)
+		if err != nil {
+			return schedule.Outcome{}, err
+		}
+		return schedule.Outcome{IO: io}, nil // free order: no fixed traversal replayed
+	})
+	schedule.RegisterMinIO("minio-brute-fixed", "BruteForceMinIOFixedOrder", func(req schedule.Request) (schedule.Outcome, error) {
+		io, err := BruteForceMinIOFixedOrder(req.Tree, req.Order, req.Memory)
+		if err != nil {
+			return schedule.Outcome{}, err
+		}
+		return schedule.Outcome{IO: io, Order: req.Order}, nil
+	})
+	schedule.RegisterMinIO("divisible-bound", "DivisibleLowerBound", func(req schedule.Request) (schedule.Outcome, error) {
+		io, err := LowerBoundDivisible(req.Tree, req.Order, req.Memory)
+		if err != nil {
+			return schedule.Outcome{}, err
+		}
+		return schedule.Outcome{IO: io, Order: req.Order}, nil
+	})
+}

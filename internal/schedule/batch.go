@@ -1,0 +1,199 @@
+package schedule
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/tree"
+)
+
+// Instance is one named workflow of an evaluation grid. It mirrors the
+// dataset package's Instance without importing it, so any caller can feed
+// trees from any source.
+type Instance struct {
+	Name string
+	Tree *tree.Tree
+}
+
+// Job is one (instance, algorithm) cell of an evaluation grid.
+type Job struct {
+	// Instance names the workflow for reporting.
+	Instance string
+	// Tree is the workflow itself.
+	Tree *tree.Tree
+	// Algorithm is the registry name of the solver to run.
+	Algorithm string
+	// Order, Memory and Window fill the algorithm's Request.
+	Order  []int
+	Memory int64
+	Window int
+}
+
+// Row is the structured result of one job, ready for CSV or JSON streaming.
+type Row struct {
+	Instance  string  `json:"instance"`
+	Algorithm string  `json:"algorithm"`
+	Kind      string  `json:"kind"`
+	Budget    int64   `json:"budget,omitempty"`
+	Memory    int64   `json:"memory"`
+	IO        int64   `json:"io"`
+	Writes    int     `json:"writes"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// OnRow, when non-nil, receives each row as its job completes
+	// (completion order, serialized by the evaluator). The returned slice
+	// is always in job order regardless.
+	OnRow func(Row)
+}
+
+// RunBatch evaluates every job concurrently on runner.ForEach and returns
+// one row per job, in job order. Algorithms are deterministic and jobs are
+// independent, so the rows are bit-identical to a sequential run; only the
+// Seconds column varies. The first failing job cancels the rest.
+func RunBatch(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error) {
+	rows := make([]Row, len(jobs))
+	var mu sync.Mutex
+	err := runner.ForEach(ctx, len(jobs), opt.Workers, func(i int) error {
+		row, err := runJob(jobs[i])
+		if err != nil {
+			return fmt.Errorf("schedule: job %s/%s: %w", jobs[i].Instance, jobs[i].Algorithm, err)
+		}
+		rows[i] = row
+		if opt.OnRow != nil {
+			mu.Lock()
+			opt.OnRow(row)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func runJob(j Job) (Row, error) {
+	alg, err := Lookup(j.Algorithm)
+	if err != nil {
+		return Row{}, err
+	}
+	start := time.Now()
+	out, err := alg.Run(Request{Tree: j.Tree, Order: j.Order, Memory: j.Memory, Window: j.Window})
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Instance:  j.Instance,
+		Algorithm: j.Algorithm,
+		Kind:      alg.Kind().String(),
+		Budget:    j.Memory,
+		Memory:    out.Memory,
+		IO:        out.IO,
+		Writes:    len(out.Writes),
+		Seconds:   time.Since(start).Seconds(),
+	}, nil
+}
+
+// MinMemoryGrid expands instances × MinMemory algorithm names into jobs,
+// instance-major: jobs[i*len(algorithms)+k] is (instances[i], algorithms[k]).
+func MinMemoryGrid(insts []Instance, algorithms []string) []Job {
+	jobs := make([]Job, 0, len(insts)*len(algorithms))
+	for _, inst := range insts {
+		for _, a := range algorithms {
+			jobs = append(jobs, Job{Instance: inst.Name, Tree: inst.Tree, Algorithm: a})
+		}
+	}
+	return jobs
+}
+
+// MinIOGrid expands instances × memory budgets × MinIO algorithm names into
+// jobs. The traversal replayed by every job of an instance is produced by
+// the orderBy MinMemory algorithm (run concurrently, one per instance), and
+// memories maps each tree to its budget sweep; it also receives the orderBy
+// outcome so sweeps anchored on a solver's memory need not re-run it. Jobs
+// are instance-major, then budget, then algorithm.
+func MinIOGrid(ctx context.Context, insts []Instance, orderBy string, algorithms []string, memories func(*tree.Tree, Outcome) ([]int64, error), workers int) ([]Job, error) {
+	orderAlg, err := Lookup(orderBy)
+	if err != nil {
+		return nil, err
+	}
+	if orderAlg.Kind() != KindMinMemory {
+		return nil, fmt.Errorf("schedule: orderBy algorithm %q is not a MinMemory solver", orderBy)
+	}
+	type prep struct {
+		order []int
+		mems  []int64
+	}
+	preps, err := runner.Map(ctx, len(insts), workers, func(i int) (prep, error) {
+		out, err := orderAlg.Run(Request{Tree: insts[i].Tree})
+		if err != nil {
+			return prep{}, fmt.Errorf("schedule: %s: %s: %w", insts[i].Name, orderBy, err)
+		}
+		if out.Order == nil {
+			return prep{}, fmt.Errorf("schedule: %s returns no traversal to replay", orderBy)
+		}
+		mems, err := memories(insts[i].Tree, out)
+		if err != nil {
+			return prep{}, fmt.Errorf("schedule: %s: %w", insts[i].Name, err)
+		}
+		return prep{order: out.Order, mems: mems}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	for i, inst := range insts {
+		for _, m := range preps[i].mems {
+			for _, a := range algorithms {
+				jobs = append(jobs, Job{Instance: inst.Name, Tree: inst.Tree, Algorithm: a, Order: preps[i].order, Memory: m})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// WriteRowsCSV streams rows as CSV with a header line.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"instance", "algorithm", "kind", "budget", "memory", "io", "writes", "seconds"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Instance, r.Algorithm, r.Kind,
+			strconv.FormatInt(r.Budget, 10),
+			strconv.FormatInt(r.Memory, 10),
+			strconv.FormatInt(r.IO, 10),
+			strconv.Itoa(r.Writes),
+			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRowsJSON streams rows as JSON Lines (one object per row).
+func WriteRowsJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package schedule_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+func batchInstances(t *testing.T) []schedule.Instance {
+	t.Helper()
+	var out []schedule.Instance
+	for seed := int64(0); seed < 6; seed++ {
+		out = append(out, schedule.Instance{
+			Name: "rand-" + string(rune('a'+seed)),
+			Tree: randomTree(t, 40+seed, 6+int(seed)*3),
+		})
+	}
+	return out
+}
+
+// A parallel batch must produce, row for row, the same values as running
+// every job sequentially (timing aside).
+func TestRunBatchMatchesSequential(t *testing.T) {
+	insts := batchInstances(t)
+	jobs := schedule.MinMemoryGrid(insts, []string{"postorder", "minmem", "liu"})
+	if len(jobs) != len(insts)*3 {
+		t.Fatalf("grid has %d jobs, want %d", len(jobs), len(insts)*3)
+	}
+	seq, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	par, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{
+		Workers: 8,
+		OnRow:   func(schedule.Row) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(jobs) {
+		t.Fatalf("OnRow saw %d rows, want %d", streamed, len(jobs))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.Seconds, b.Seconds = 0, 0
+		if a != b {
+			t.Fatalf("row %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// A MinIO grid replays the orderBy traversal under every policy; at the
+// in-core optimum budget the I/O must be zero, at the floor it must match
+// a direct simulator run.
+func TestMinIOGrid(t *testing.T) {
+	insts := batchInstances(t)
+	memories := func(tr *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		if out.Memory < tr.MaxMemReq() {
+			t.Fatalf("memories got outcome %d below floor %d", out.Memory, tr.MaxMemReq())
+		}
+		return []int64{tr.MaxMemReq()}, nil
+	}
+	policies := schedule.EvictionPolicyNames()
+	jobs, err := schedule.MinIOGrid(context.Background(), insts, "minmem", policies, memories, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(insts)*len(policies) {
+		t.Fatalf("grid has %d jobs, want %d", len(jobs), len(insts)*len(policies))
+	}
+	rows, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		job := jobs[i]
+		ev, err := schedule.EvictorByName(row.Algorithm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := schedule.Simulate(job.Tree, job.Order, schedule.Config{Memory: job.Memory, Evict: ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.IO != sim.IO || row.Writes != len(sim.Writes) {
+			t.Fatalf("row %d (%s/%s): IO %d/%d writes != direct %d/%d",
+				i, row.Instance, row.Algorithm, row.IO, row.Writes, sim.IO, len(sim.Writes))
+		}
+		if row.Kind != "minio" || row.Budget != job.Memory {
+			t.Fatalf("row %d mislabelled: %+v", i, row)
+		}
+	}
+}
+
+func TestMinIOGridRejects(t *testing.T) {
+	insts := batchInstances(t)[:1]
+	memories := func(tr *tree.Tree, _ schedule.Outcome) ([]int64, error) { return []int64{tr.TotalF()}, nil }
+	if _, err := schedule.MinIOGrid(context.Background(), insts, "nope", []string{"lsnf"}, memories, 0); err == nil {
+		t.Fatal("unknown orderBy accepted")
+	}
+	if _, err := schedule.MinIOGrid(context.Background(), insts, "lsnf", []string{"lsnf"}, memories, 0); err == nil {
+		t.Fatal("MinIO orderBy accepted")
+	}
+	// enumerate proves a value but exhibits no traversal to replay.
+	if _, err := schedule.MinIOGrid(context.Background(), insts, "enumerate", []string{"lsnf"}, memories, 0); err == nil {
+		t.Fatal("orderless orderBy accepted")
+	}
+}
+
+func TestRunBatchPropagatesErrors(t *testing.T) {
+	insts := batchInstances(t)
+	jobs := schedule.MinMemoryGrid(insts, []string{"minmem", "no-such-solver"})
+	if _, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{}); err == nil {
+		t.Fatal("unknown algorithm in a job accepted")
+	}
+}
+
+func TestWriteRows(t *testing.T) {
+	rows := []schedule.Row{
+		{Instance: "a", Algorithm: "minmem", Kind: "minmemory", Memory: 42, Seconds: 0.25},
+		{Instance: "b", Algorithm: "lsnf", Kind: "minio", Budget: 10, Memory: 9, IO: 7, Writes: 2, Seconds: 0.5},
+	}
+	var csvBuf bytes.Buffer
+	if err := schedule.WriteRowsCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), csvBuf.String())
+	}
+	if lines[0] != "instance,algorithm,kind,budget,memory,io,writes,seconds" {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "b,lsnf,minio,10,9,7,2,") {
+		t.Fatalf("bad CSV row %q", lines[2])
+	}
+	var jsonBuf bytes.Buffer
+	if err := schedule.WriteRowsJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	jl := strings.Split(strings.TrimSpace(jsonBuf.String()), "\n")
+	if len(jl) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", len(jl))
+	}
+	if !strings.Contains(jl[1], `"algorithm":"lsnf"`) || !strings.Contains(jl[1], `"io":7`) {
+		t.Fatalf("bad JSONL row %q", jl[1])
+	}
+}

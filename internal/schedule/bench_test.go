@@ -1,0 +1,67 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// benchTree builds one large random assembly-shaped tree for the simulator
+// hot path; the preferential attachment gives the wide, irregular shapes of
+// real assembly trees.
+func benchTree(b *testing.B, nodes int) (*tree.Tree, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2011))
+	tr, err := tree.Random(rng, tree.RandomOptions{Nodes: nodes, MaxF: 100, MaxN: 40, Attach: tree.AttachPreferential})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, tr.TopDown()
+}
+
+// BenchmarkSimulator tracks the unified simulator's hot paths so future PRs
+// can spot regressions: the in-core peak accounting, the feasibility check,
+// and the eviction replay under the cheapest and the most expensive policy.
+func BenchmarkSimulator(b *testing.B) {
+	const nodes = 50_000
+	tr, order := benchTree(b, nodes)
+	peak, err := schedule.Simulate(tr, order, schedule.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("InCorePeak", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := schedule.Simulate(tr, order, schedule.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Feasibility", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := schedule.Simulate(tr, order, schedule.Config{Memory: peak.Peak}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Eviction replay at a budget between the floor and this traversal's
+	// in-core need, where the policies actually fire.
+	budget := tr.MaxMemReq() + (peak.Peak-tr.MaxMemReq())/2
+	for _, name := range []string{"lsnf", "best-k"} {
+		ev, err := schedule.EvictorByName(name, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("Evict/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Simulate(tr, order, schedule.Config{Memory: budget, Evict: ev}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// ErrNoSpace reports that an eviction policy could not free the required
+// space: the memory budget is below the node's own requirement.
+var ErrNoSpace = errors.New("cannot free enough memory (budget below MemReq of the node)")
+
+// Evictor selects resident files to write to secondary memory when the next
+// node does not fit. SelectVictims receives S — the produced, still-resident
+// files ordered by consumer step, latest first, zero-size files excluded —
+// and must return files from S whose sizes sum to at least need, or
+// ErrNoSpace. It may mutate s freely; the simulator passes a fresh snapshot.
+type Evictor interface {
+	// Name returns the paper's display name for the policy.
+	Name() string
+	SelectVictims(t *tree.Tree, s []int, need int64) ([]int, error)
+}
+
+// BestKWindow is the default subset window of the Best-K policy (K = 5, as
+// in the paper).
+const BestKWindow = 5
+
+// The six greedy eviction policies of Section V-B.
+type policyKind int
+
+const (
+	kindLSNF policyKind = iota
+	kindFirstFit
+	kindBestFit
+	kindFirstFill
+	kindBestFill
+	kindBestK
+)
+
+// greedyPolicy implements all six paper policies over one shared helper set.
+type greedyPolicy struct {
+	kind    policyKind
+	display string
+	window  int // Best-K only
+}
+
+// LSNF (Last Scheduled Node First) evicts files in S order until enough
+// space is freed. Optimal for the divisible relaxation of MinIO.
+func LSNF() Evictor { return greedyPolicy{kind: kindLSNF, display: "LSNF"} }
+
+// FirstFit evicts the first file in S at least as large as the requirement;
+// if none exists it falls back to LSNF.
+func FirstFit() Evictor { return greedyPolicy{kind: kindFirstFit, display: "First Fit"} }
+
+// BestFit repeatedly evicts the file whose size is closest to the remaining
+// requirement (above or below).
+func BestFit() Evictor { return greedyPolicy{kind: kindBestFit, display: "Best Fit"} }
+
+// FirstFill repeatedly evicts the first file in S smaller than the remaining
+// requirement; if none exists it falls back to LSNF.
+func FirstFill() Evictor { return greedyPolicy{kind: kindFirstFill, display: "First Fill"} }
+
+// BestFill repeatedly evicts the largest file strictly smaller than the
+// remaining requirement; if none exists it falls back to LSNF.
+func BestFill() Evictor { return greedyPolicy{kind: kindBestFill, display: "Best Fill"} }
+
+// BestK considers the first window files of S and evicts the non-empty
+// subset whose total size is closest to the remaining requirement, repeating
+// until enough space is freed. The paper fixes window = BestKWindow.
+func BestK(window int) Evictor {
+	return greedyPolicy{kind: kindBestK, display: "Best K Comb.", window: window}
+}
+
+func (g greedyPolicy) Name() string { return g.display }
+
+func (g greedyPolicy) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, error) {
+	if g.kind == kindBestK && (g.window < 1 || g.window > 20) {
+		// A non-positive window would make the subset search vacuous and
+		// the fill loop spin, an oversized one enumerates 2^window subsets
+		// per eviction; reject both (EvictorByName validates up front, but
+		// BestK is constructible directly).
+		return nil, fmt.Errorf("best-K window %d out of range [1,20]", g.window)
+	}
+	var victims []int
+	take := func(idx int) {
+		victims = append(victims, s[idx])
+		need -= t.F(s[idx])
+		s = append(s[:idx], s[idx+1:]...)
+	}
+	lsnf := func() error {
+		for need > 0 {
+			if len(s) == 0 {
+				return ErrNoSpace
+			}
+			take(0)
+		}
+		return nil
+	}
+	switch g.kind {
+	case kindLSNF:
+		if err := lsnf(); err != nil {
+			return nil, err
+		}
+
+	case kindFirstFit:
+		// One file covering the whole requirement, searched latest-consumer
+		// first; LSNF when no single file is big enough.
+		found := false
+		for i, v := range s {
+			if t.F(v) >= need {
+				take(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			if err := lsnf(); err != nil {
+				return nil, err
+			}
+		}
+
+	case kindBestFit:
+		// Repeatedly the file closest in size to the remaining requirement,
+		// above or below; ties go to the latest consumer.
+		for need > 0 {
+			if len(s) == 0 {
+				return nil, ErrNoSpace
+			}
+			bi := 0
+			bd := absDiff(t.F(s[0]), need)
+			for i := 1; i < len(s); i++ {
+				if d := absDiff(t.F(s[i]), need); d < bd {
+					bi, bd = i, d
+				}
+			}
+			take(bi)
+		}
+
+	case kindFirstFill:
+		// Fill the requirement with the first files strictly smaller than
+		// it; once none is smaller, fall back to LSNF for the remainder.
+		for need > 0 {
+			found := false
+			for i, v := range s {
+				if t.F(v) < need {
+					take(i)
+					found = true
+					break
+				}
+			}
+			if !found {
+				if err := lsnf(); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+	case kindBestFill:
+		// Fill with the largest file strictly smaller than the requirement
+		// (the best "from below"); LSNF when none fits below.
+		for need > 0 {
+			bi := -1
+			var bf int64 = -1
+			for i, v := range s {
+				if t.F(v) < need && t.F(v) > bf {
+					bi, bf = i, t.F(v)
+				}
+			}
+			if bi < 0 {
+				if err := lsnf(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			take(bi)
+		}
+
+	case kindBestK:
+		// Among the first K files of S, the non-empty subset whose total is
+		// closest to the requirement (ties prefer covering subsets, then
+		// fewer files); repeat until the requirement is met.
+		for need > 0 {
+			if len(s) == 0 {
+				return nil, ErrNoSpace
+			}
+			k := len(s)
+			if k > g.window {
+				k = g.window
+			}
+			bestMask, bestTotal := 0, int64(0)
+			var bestDiff int64 = 1 << 62
+			for mask := 1; mask < 1<<k; mask++ {
+				var total int64
+				for i := 0; i < k; i++ {
+					if mask&(1<<i) != 0 {
+						total += t.F(s[i])
+					}
+				}
+				d := absDiff(total, need)
+				better := d < bestDiff
+				if d == bestDiff {
+					cover, bestCover := total >= need, bestTotal >= need
+					if cover != bestCover {
+						better = cover
+					} else if popcount(mask) < popcount(bestMask) {
+						better = true
+					}
+				}
+				if better {
+					bestMask, bestTotal, bestDiff = mask, total, d
+				}
+			}
+			// Take from the highest index down so earlier removals do not
+			// shift pending ones.
+			for i := k - 1; i >= 0; i-- {
+				if bestMask&(1<<i) != 0 {
+					take(i)
+				}
+			}
+		}
+
+	default:
+		return nil, errors.New("unknown eviction policy")
+	}
+	return victims, nil
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func popcount(m int) int {
+	c := 0
+	for m != 0 {
+		m &= m - 1
+		c++
+	}
+	return c
+}

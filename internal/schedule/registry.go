@@ -1,0 +1,257 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tree"
+)
+
+// Kind classifies the two solver families of the paper.
+type Kind int
+
+const (
+	// KindMinMemory solvers take a tree and return the minimum main memory
+	// they certify, usually with a traversal achieving it (Section IV).
+	KindMinMemory Kind = iota
+	// KindMinIO solvers take a tree, a memory budget and (except for the
+	// free-order oracle) a traversal, and return an I/O volume (Section V).
+	KindMinIO
+)
+
+// String names the kind for reports and CSV rows.
+func (k Kind) String() string {
+	switch k {
+	case KindMinMemory:
+		return "minmemory"
+	case KindMinIO:
+		return "minio"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request is the input of one algorithm run.
+type Request struct {
+	// Tree is the workflow instance; required.
+	Tree *tree.Tree
+	// Order is the top-down traversal to replay; required for KindMinIO
+	// algorithms except the free-order oracle, ignored by KindMinMemory.
+	Order []int
+	// Memory is the main-memory budget; required (> 0) for KindMinIO.
+	Memory int64
+	// Window overrides the Best-K subset window; 0 selects BestKWindow.
+	Window int
+}
+
+// Outcome is the result of one algorithm run.
+type Outcome struct {
+	// Memory is the certified minimum memory (KindMinMemory) or the peak
+	// resident memory reached during the replay (KindMinIO).
+	Memory int64
+	// Order is the traversal produced or replayed; nil when the algorithm
+	// proves a value without exhibiting a traversal.
+	Order []int
+	// IO is the I/O volume (KindMinIO only).
+	IO int64
+	// Writes lists the evictions (policy simulations only).
+	Writes []WriteEvent
+}
+
+// Algorithm is one named solver. Implementations must be safe for concurrent
+// Run calls on distinct requests: the batch evaluator fans them out.
+type Algorithm interface {
+	// Name is the registry key: lower-case, kebab-case.
+	Name() string
+	Kind() Kind
+	Run(Request) (Outcome, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Algorithm
+}{m: map[string]Algorithm{}}
+
+// displayNames maps registry keys to the paper's display names.
+var displayNames = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// Register adds an algorithm under its name. It panics on an empty name or a
+// duplicate registration — solver packages register in init, so a collision
+// is a programming error, not a runtime condition.
+func Register(a Algorithm) {
+	name := a.Name()
+	if name == "" {
+		panic("schedule: Register with empty algorithm name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("schedule: algorithm %q registered twice", name))
+	}
+	registry.m[name] = a
+}
+
+// Lookup returns the algorithm registered under name. The error of an
+// unknown name lists what is available, so CLI typos are self-explaining.
+func Lookup(name string) (Algorithm, error) {
+	registry.RLock()
+	a, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("schedule: unknown algorithm %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return a, nil
+}
+
+// Names returns every registered algorithm name, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamesByKind returns the registered names of one kind, sorted.
+func NamesByKind(k Kind) []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	var out []string
+	for n, a := range registry.m {
+		if a.Kind() == k {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DisplayName returns the paper's name for a registered algorithm ("First
+// Fit" for "first-fit"), or name itself when no display name was declared.
+func DisplayName(name string) string {
+	displayNames.RLock()
+	defer displayNames.RUnlock()
+	if d, ok := displayNames.m[name]; ok {
+		return d
+	}
+	return name
+}
+
+func setDisplayName(name, display string) {
+	displayNames.Lock()
+	displayNames.m[name] = display
+	displayNames.Unlock()
+}
+
+// funcAlgorithm adapts a function to the Algorithm interface.
+type funcAlgorithm struct {
+	name string
+	kind Kind
+	run  func(Request) (Outcome, error)
+}
+
+func (a funcAlgorithm) Name() string                   { return a.name }
+func (a funcAlgorithm) Kind() Kind                     { return a.kind }
+func (a funcAlgorithm) Run(r Request) (Outcome, error) { return a.run(r) }
+
+// RegisterMinMemory registers a MinMemory solver under name. solve returns
+// the certified memory and a top-down traversal achieving it (nil when the
+// solver proves the value without exhibiting an order).
+func RegisterMinMemory(name, display string, solve func(*tree.Tree) (int64, []int, error)) {
+	setDisplayName(name, display)
+	Register(funcAlgorithm{name: name, kind: KindMinMemory, run: func(req Request) (Outcome, error) {
+		if req.Tree == nil {
+			return Outcome{}, fmt.Errorf("schedule: %s: nil tree", name)
+		}
+		mem, order, err := solve(req.Tree)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Memory: mem, Order: order}, nil
+	}})
+}
+
+// RegisterMinIO registers a MinIO solver under name. run receives the full
+// request (tree, order, budget).
+func RegisterMinIO(name, display string, run func(Request) (Outcome, error)) {
+	setDisplayName(name, display)
+	Register(funcAlgorithm{name: name, kind: KindMinIO, run: func(req Request) (Outcome, error) {
+		if req.Tree == nil {
+			return Outcome{}, fmt.Errorf("schedule: %s: nil tree", name)
+		}
+		if req.Memory <= 0 {
+			return Outcome{}, fmt.Errorf("schedule: %s: a positive memory budget is required", name)
+		}
+		return run(req)
+	}})
+}
+
+// evictionPolicyNames lists the six greedy policies in the paper's display
+// order (Section V-B, Figure 7).
+var evictionPolicyNames = []string{"lsnf", "first-fit", "best-fit", "first-fill", "best-fill", "best-k"}
+
+// EvictionPolicyNames returns the registry names of the six greedy eviction
+// policies in the paper's display order.
+func EvictionPolicyNames() []string {
+	out := make([]string, len(evictionPolicyNames))
+	copy(out, evictionPolicyNames)
+	return out
+}
+
+// EvictorByName builds the eviction policy registered under one of the six
+// policy names; window applies to "best-k" only (0 selects BestKWindow).
+func EvictorByName(name string, window int) (Evictor, error) {
+	if window == 0 {
+		window = BestKWindow
+	}
+	if window < 1 || window > 20 {
+		return nil, fmt.Errorf("schedule: Best-K window %d out of range [1,20]", window)
+	}
+	switch name {
+	case "lsnf":
+		return LSNF(), nil
+	case "first-fit":
+		return FirstFit(), nil
+	case "best-fit":
+		return BestFit(), nil
+	case "first-fill":
+		return FirstFill(), nil
+	case "best-fill":
+		return BestFill(), nil
+	case "best-k":
+		return BestK(window), nil
+	default:
+		return nil, fmt.Errorf("schedule: unknown eviction policy %q (known: %s)", name, strings.Join(evictionPolicyNames, ", "))
+	}
+}
+
+// init registers the six eviction policies as MinIO algorithms: each one
+// replays the request's traversal through the unified simulator.
+func init() {
+	for _, polName := range evictionPolicyNames {
+		polName := polName
+		ev, err := EvictorByName(polName, 0)
+		if err != nil {
+			panic(err)
+		}
+		RegisterMinIO(polName, ev.Name(), func(req Request) (Outcome, error) {
+			pol, err := EvictorByName(polName, req.Window)
+			if err != nil {
+				return Outcome{}, err
+			}
+			sim, err := Simulate(req.Tree, req.Order, Config{Memory: req.Memory, Evict: pol})
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Memory: sim.Peak, Order: req.Order, IO: sim.IO, Writes: sim.Writes}, nil
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package schedule_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// wantMinMemory / wantMinIO are the complete rosters: every solver of the
+// paper, registered exactly once. The traversal and minio imports in
+// sim_test.go trigger the init registrations.
+var wantMinMemory = []string{
+	"brute", "enumerate", "liu", "minmem", "minmem-noreuse", "natural-postorder", "postorder",
+}
+
+var wantMinIO = []string{
+	"best-fill", "best-fit", "best-k", "divisible-bound", "first-fill", "first-fit",
+	"lsnf", "minio-brute", "minio-brute-fixed",
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	if got := schedule.NamesByKind(schedule.KindMinMemory); !equalStrings(got, wantMinMemory) {
+		t.Fatalf("MinMemory roster = %v, want %v", got, wantMinMemory)
+	}
+	if got := schedule.NamesByKind(schedule.KindMinIO); !equalStrings(got, wantMinIO) {
+		t.Fatalf("MinIO roster = %v, want %v", got, wantMinIO)
+	}
+	// Names() is the sorted union of the kinds; since Register panics on a
+	// duplicate name, matching rosters imply every solver is registered
+	// exactly once.
+	all := append(append([]string{}, wantMinMemory...), wantMinIO...)
+	sort.Strings(all)
+	if got := schedule.Names(); !equalStrings(got, all) {
+		t.Fatalf("Names() = %v, want %v", got, all)
+	}
+	for _, name := range all {
+		a, err := schedule.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, a.Name())
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := schedule.Lookup("no-such-solver")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// The error teaches the valid names.
+	if !strings.Contains(err.Error(), "minmem") || !strings.Contains(err.Error(), "lsnf") {
+		t.Fatalf("unknown-name error does not list the registry: %v", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	// "minmem" is already registered by the traversal package.
+	schedule.RegisterMinMemory("minmem", "MinMem", func(*tree.Tree) (int64, []int, error) {
+		return 0, nil, nil
+	})
+}
+
+func TestEvictionPolicyNamesRegistered(t *testing.T) {
+	names := schedule.EvictionPolicyNames()
+	if len(names) != 6 {
+		t.Fatalf("%d policies, want 6", len(names))
+	}
+	wantDisplay := map[string]string{
+		"lsnf": "LSNF", "first-fit": "First Fit", "best-fit": "Best Fit",
+		"first-fill": "First Fill", "best-fill": "Best Fill", "best-k": "Best K Comb.",
+	}
+	for _, n := range names {
+		a, err := schedule.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Kind() != schedule.KindMinIO {
+			t.Fatalf("policy %s has kind %v", n, a.Kind())
+		}
+		if d := schedule.DisplayName(n); d != wantDisplay[n] {
+			t.Fatalf("DisplayName(%s) = %q, want %q", n, d, wantDisplay[n])
+		}
+	}
+}
+
+// A MinIO algorithm must reject a missing memory budget, and a MinMemory
+// algorithm must reject a nil tree.
+func TestRequestValidation(t *testing.T) {
+	tr := randomTree(t, 1, 6)
+	pol, err := schedule.Lookup("lsnf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pol.Run(schedule.Request{Tree: tr, Order: tr.TopDown()}); err == nil {
+		t.Fatal("missing budget accepted")
+	}
+	mm, err := schedule.Lookup("minmem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.Run(schedule.Request{}); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+}
+
+// The registered solvers agree on the sample optimum: the exact algorithms
+// (and the brute oracle) coincide, the postorders upper-bound them.
+func TestRegisteredSolversAgree(t *testing.T) {
+	tr := randomTree(t, 5, 10)
+	run := func(name string) schedule.Outcome {
+		a, err := schedule.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := a.Run(schedule.Request{Tree: tr})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return out
+	}
+	opt := run("minmem").Memory
+	for _, name := range []string{"liu", "minmem-noreuse", "brute", "enumerate"} {
+		if got := run(name).Memory; got != opt {
+			t.Fatalf("%s = %d, want %d", name, got, opt)
+		}
+	}
+	for _, name := range []string{"postorder", "natural-postorder"} {
+		if got := run(name).Memory; got < opt {
+			t.Fatalf("%s = %d below optimum %d", name, got, opt)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,34 @@
+package traversal
+
+import (
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// The MinMemory solvers register themselves with the schedule engine, so
+// binaries and experiments select them by name instead of hard-wiring
+// dispatch switches (the database/sql driver pattern).
+func init() {
+	exact := func(f func(*tree.Tree) Result) func(*tree.Tree) (int64, []int, error) {
+		return func(t *tree.Tree) (int64, []int, error) {
+			r := f(t)
+			return r.Memory, r.Order, nil
+		}
+	}
+	schedule.RegisterMinMemory("postorder", "PostOrder", exact(BestPostOrder))
+	schedule.RegisterMinMemory("natural-postorder", "NaturalPostOrder", exact(NaturalPostOrder))
+	schedule.RegisterMinMemory("liu", "Liu", exact(LiuExact))
+	schedule.RegisterMinMemory("minmem", "MinMem", exact(MinMem))
+	schedule.RegisterMinMemory("minmem-noreuse", "MinMem (no frontier reuse)", exact(MinMemNoReuse))
+	schedule.RegisterMinMemory("brute", "BruteForce", func(t *tree.Tree) (int64, []int, error) {
+		r, err := BruteForce(t)
+		if err != nil {
+			return 0, nil, err
+		}
+		return r.Memory, r.Order, nil
+	})
+	schedule.RegisterMinMemory("enumerate", "Enumerate", func(t *tree.Tree) (int64, []int, error) {
+		m, err := EnumerateMinMemory(t)
+		return m, nil, err // proves the value without exhibiting an order
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/schedule"
 	"repro/internal/tree"
 )
 
@@ -50,25 +51,14 @@ func CheckInCore(t *tree.Tree, order []int, m int64) error {
 // Peak computes the exact memory high-water mark of a top-down traversal:
 // the smallest M for which CheckInCore succeeds. It errors if order is not a
 // valid top-down traversal (wrong length, duplicates, or a node scheduled
-// before its parent).
+// before its parent). The accounting is the unified simulator of the
+// schedule package, shared with the out-of-core side.
 func Peak(t *tree.Tree, order []int) (int64, error) {
-	if err := t.IsTopDownOrder(order); err != nil {
+	sim, err := schedule.Simulate(t, order, schedule.Config{})
+	if err != nil {
 		return 0, err
 	}
-	// ready files: inputs of scheduled-but-unprocessed nodes. Initially the
-	// root's input file is resident.
-	readySum := t.F(t.Root())
-	peak := int64(0)
-	for _, i := range order {
-		// Memory while processing i: all ready files stay resident, f(i) is
-		// among them, and n(i) plus the children outputs are created.
-		need := readySum + t.N(i) + t.ChildFileSum(i)
-		if need > peak {
-			peak = need
-		}
-		readySum += t.ChildFileSum(i) - t.F(i)
-	}
-	return peak, nil
+	return sim.Peak, nil
 }
 
 // PeakBottomUp computes the memory high-water mark of a bottom-up (in-tree)
@@ -77,21 +67,11 @@ func Peak(t *tree.Tree, order []int) (int64, error) {
 // valid bottom-up traversal. By the reversal lemma of Section III-C,
 // PeakBottomUp(t, order) == Peak(t, tree.ReverseOrder(order)).
 func PeakBottomUp(t *tree.Tree, order []int) (int64, error) {
-	if err := t.IsBottomUpOrder(order); err != nil {
+	sim, err := schedule.Simulate(t, order, schedule.Config{Direction: schedule.BottomUp})
+	if err != nil {
 		return 0, err
 	}
-	var resident int64 // Σ files produced and not yet consumed
-	peak := int64(0)
-	for _, i := range order {
-		// While processing i, the children files are still resident (they
-		// are part of resident), and f(i) + n(i) come alive.
-		need := resident + t.F(i) + t.N(i)
-		if need > peak {
-			peak = need
-		}
-		resident += t.F(i) - t.ChildFileSum(i)
-	}
-	return peak, nil
+	return sim.Peak, nil
 }
 
 // maxInt64 returns the larger of a and b.
