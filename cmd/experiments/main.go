@@ -3,8 +3,9 @@
 // Table I/II-style statistic blocks and ASCII performance profiles for the
 // figures; -csv writes machine-readable profile curves next to them.
 //
-// The grid experiment runs an arbitrary (instance × algorithm) grid on the
-// schedule batch evaluator, streaming one row per cell as it completes and
+// The grid experiment runs an arbitrary (instance × algorithm) grid on a
+// selectable evaluation backend — in-process, cache-decorated, or a remote
+// scheduled server — streaming one row per cell as it completes and
 // exporting the rows as CSV and JSON Lines.
 //
 // Usage:
@@ -12,6 +13,8 @@
 //	experiments -exp all -scale medium
 //	experiments -exp fig7 -scale full -csv out/
 //	experiments -exp grid -algos postorder,liu,minmem -csv out/
+//	experiments -exp grid -backend cached -cache rows.jsonl -csv out/
+//	experiments -exp grid -backend http://127.0.0.1:8080 -notime -csv out/
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/profile"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/tree"
 )
 
@@ -45,6 +49,9 @@ func run(args []string, w io.Writer) error {
 	seeds := fs.Int("seeds", 3, "random-weight copies per tree for table2/fig9")
 	workers := fs.Int("workers", 0, "parallel workers for table1 and grid (0 = GOMAXPROCS)")
 	algos := fs.String("algos", "postorder,liu,minmem", "MinMemory algorithms for the grid experiment")
+	backendSpec := fs.String("backend", "local", "grid evaluation backend: local | cached | http://host:port of a scheduled server")
+	cachePath := fs.String("cache", "", "JSONL row-store path for -backend cached (empty = in-memory)")
+	noTime := fs.Bool("notime", false, "zero the seconds column of grid exports, making CSV/JSONL byte-identical across backends and reruns")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,19 +207,45 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	if want("grid") {
-		if err := runGrid(w, insts, *algos, *workers, *csvDir); err != nil {
+		if err := runGrid(w, insts, *algos, *workers, *csvDir, *backendSpec, *cachePath, *noTime); err != nil {
 			return err
 		}
 	}
 	return runTheorems(w, want)
 }
 
-// runGrid evaluates an (instance × algorithm) grid on the schedule batch
-// evaluator: every MinMemory algorithm in algos on every instance, plus the
-// six eviction policies replaying MinMem traversals across the memory
-// sweep. Rows stream to w as they complete; with csvDir set they are also
-// exported as grid.csv and grid.jsonl.
-func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, csvDir string) error {
+// newBackend resolves a -backend spec: "local", "cached" (decorating local
+// with an in-memory store, or the JSONL store at cachePath), or the URL of
+// a scheduled evaluation server. The cleanup func flushes the on-disk
+// store; call it when the grid is done.
+func newBackend(spec, cachePath string) (schedule.Backend, func() error, error) {
+	nop := func() error { return nil }
+	switch {
+	case spec == "local":
+		return schedule.Local{}, nop, nil
+	case spec == "cached":
+		if cachePath == "" {
+			return schedule.NewCached(schedule.Local{}, nil), nop, nil
+		}
+		store, err := schedule.OpenJSONLStore(cachePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return schedule.NewCached(schedule.Local{}, store), store.Close, nil
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		return service.NewClient(spec, nil), nop, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q (want local, cached or an http:// URL)", spec)
+	}
+}
+
+// runGrid evaluates an (instance × algorithm) grid on the selected
+// evaluation backend: every MinMemory algorithm in algos on every instance,
+// plus the six eviction policies replaying MinMem traversals across the
+// memory sweep. Rows stream to w as they complete; with csvDir set they are
+// also exported as grid.csv and grid.jsonl (with noTime, the seconds column
+// is zeroed so the exports are byte-identical across backends and reruns).
+func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, csvDir, backendSpec, cachePath string, noTime bool) error {
 	gridInsts := make([]schedule.Instance, len(insts))
 	for i, inst := range insts {
 		gridInsts[i] = schedule.Instance{Name: inst.Name, Tree: inst.Tree}
@@ -239,10 +272,15 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 		return err
 	}
 	jobs = append(jobs, polJobs...)
-	fmt.Fprintf(w, "Grid — %d jobs (%d instances × {%s} + policy sweep), streamed as completed\n",
-		len(jobs), len(insts), strings.Join(algNames, ","))
+	backend, cleanup, err := newBackend(backendSpec, cachePath)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Fprintf(w, "Grid — %d jobs (%d instances × {%s} + policy sweep) on backend %s, streamed as completed\n",
+		len(jobs), len(insts), strings.Join(algNames, ","), backend.Capabilities().Name)
 	fmt.Fprintf(w, "  %-24s %-12s %10s %12s %12s\n", "instance", "algorithm", "budget", "memory", "io")
-	rows, err := schedule.RunBatch(context.Background(), jobs, schedule.BatchOptions{
+	rows, err := backend.Run(context.Background(), jobs, schedule.BatchOptions{
 		Workers: workers,
 		OnRow: func(r schedule.Row) {
 			fmt.Fprintf(w, "  %-24s %-12s %10d %12d %12d\n", r.Instance, r.Algorithm, r.Budget, r.Memory, r.IO)
@@ -251,9 +289,19 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "  %d rows\n\n", len(rows))
+	fmt.Fprintf(w, "  %d rows\n", len(rows))
+	if c, ok := backend.(*schedule.Cached); ok {
+		hits, misses := c.Counters()
+		fmt.Fprintf(w, "  cache: %d hits, %d misses\n", hits, misses)
+	}
+	fmt.Fprintln(w)
 	if csvDir == "" {
-		return nil
+		return cleanup()
+	}
+	if noTime {
+		for i := range rows {
+			rows[i].Seconds = 0
+		}
 	}
 	if err := os.MkdirAll(csvDir, 0o755); err != nil {
 		return err
@@ -271,7 +319,10 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 		return err
 	}
 	defer jf.Close()
-	return schedule.WriteRowsJSON(jf, rows)
+	if err := schedule.WriteRowsJSON(jf, rows); err != nil {
+		return err
+	}
+	return cleanup()
 }
 
 // runTheorems prints the Theorem 1 and 2 demonstrations.

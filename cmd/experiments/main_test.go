@@ -1,10 +1,13 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
 func TestRunAllSmall(t *testing.T) {
@@ -53,6 +56,59 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 }
 
+// The same grid exported through every backend — local, cached cold, cached
+// warm (across a process-like store reopen) and HTTP — must be byte-identical
+// once -notime zeroes the seconds column.
+func TestGridBackendsByteIdentical(t *testing.T) {
+	srv := httptest.NewServer(service.NewServer(nil, 0).Handler())
+	defer srv.Close()
+	dir := t.TempDir()
+	store := filepath.Join(dir, "rows.jsonl")
+
+	gridFiles := func(name string, backendArgs ...string) (csv, jsonl string, out string) {
+		t.Helper()
+		sub := filepath.Join(dir, name)
+		var sb strings.Builder
+		args := append([]string{"-exp", "grid", "-scale", "small", "-notime", "-csv", sub}, backendArgs...)
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := os.ReadFile(filepath.Join(sub, "grid.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := os.ReadFile(filepath.Join(sub, "grid.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(c), string(j), sb.String()
+	}
+
+	localCSV, localJSONL, _ := gridFiles("local", "-backend", "local")
+	coldCSV, coldJSONL, coldOut := gridFiles("cold", "-backend", "cached", "-cache", store)
+	warmCSV, warmJSONL, warmOut := gridFiles("warm", "-backend", "cached", "-cache", store)
+	httpCSV, httpJSONL, _ := gridFiles("http", "-backend", srv.URL)
+
+	for name, got := range map[string][2]string{
+		"cached cold": {coldCSV, coldJSONL},
+		"cached warm": {warmCSV, warmJSONL},
+		"http":        {httpCSV, httpJSONL},
+	} {
+		if got[0] != localCSV {
+			t.Fatalf("%s grid.csv differs from local", name)
+		}
+		if got[1] != localJSONL {
+			t.Fatalf("%s grid.jsonl differs from local", name)
+		}
+	}
+	if !strings.Contains(coldOut, "cache: 0 hits") {
+		t.Fatalf("cold run not reported as all misses:\n%s", coldOut)
+	}
+	if !strings.Contains(warmOut, "0 misses") || !strings.Contains(warmOut, "hits") {
+		t.Fatalf("warm run not served fully from the store:\n%s", warmOut)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-scale", "nope"}, &sb); err == nil {
@@ -60,5 +116,8 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &sb); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-exp", "grid", "-scale", "small", "-backend", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

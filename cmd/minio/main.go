@@ -8,6 +8,7 @@
 //
 //	minio -in workflow.tree -frac 0.5                  # sweep point between MaxMemReq and optimal
 //	minio -in workflow.tree -mem 12345 -traversal postorder
+//	minio -list                                        # print the registered MinIO algorithms
 package main
 
 import (
@@ -38,8 +39,15 @@ func run(args []string, w io.Writer) error {
 	mem := fs.Int64("mem", 0, "main memory size (overrides -frac)")
 	frac := fs.Float64("frac", 0.5, "memory as a fraction between MaxMemReq (0) and the in-core optimum (1)")
 	trav := fs.String("traversal", "minmem", "traversal algorithm (any registered MinMemory solver)")
+	list := fs.Bool("list", false, "list the registered MinIO algorithms and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range schedule.NamesByKind(schedule.KindMinIO) {
+			fmt.Fprintf(w, "%-20s %s\n", name, schedule.DisplayName(name))
+		}
+		return nil
 	}
 	var r io.Reader = os.Stdin
 	if *in != "" {

@@ -43,6 +43,23 @@ func TestRunAllPolicies(t *testing.T) {
 	}
 }
 
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"lsnf", "first-fit", "best-k", "divisible-bound", "First Fit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+	// Only the MinIO side of the registry: no MinMemory solvers.
+	if strings.Contains(out, "postorder") || strings.Contains(out, "minmem") {
+		t.Fatalf("-list leaked MinMemory algorithms:\n%s", out)
+	}
+}
+
 func TestRunExplicitMemory(t *testing.T) {
 	path := writeTree(t)
 	var sb strings.Builder

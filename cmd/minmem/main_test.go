@@ -45,6 +45,23 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"postorder", "liu", "minmem", "brute", "Liu"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+	// Only the MinMemory side of the registry: no eviction policies.
+	if strings.Contains(out, "first-fit") || strings.Contains(out, "lsnf") {
+		t.Fatalf("-list leaked MinIO algorithms:\n%s", out)
+	}
+}
+
 func TestRunSingleAlgorithm(t *testing.T) {
 	path := writeTree(t)
 	var sb strings.Builder

@@ -1,0 +1,105 @@
+// Command scheduled is the long-running evaluation service: it serves the
+// schedule algorithm registry over the HTTP/JSON protocol of
+// internal/service, so remote clients (cmd/experiments -backend http://…,
+// or service.Client embedded anywhere) can list algorithms and run job
+// batches without linking the solvers.
+//
+// With -cache the server evaluates through a content-addressed result
+// cache persisted as a JSONL store, so repeated grids over the same
+// instances are answered without re-running the algorithms.
+//
+// Usage:
+//
+//	scheduled -addr 127.0.0.1:8080
+//	scheduled -addr :9090 -workers 8 -cache rows.jsonl
+//	scheduled -list
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/service"
+
+	// Register every MinMemory solver and MinIO policy/oracle.
+	_ "repro/internal/minio"
+	_ "repro/internal/traversal"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scheduled:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("scheduled", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "per-batch worker-pool bound (0 = GOMAXPROCS)")
+	cache := fs.String("cache", "", "JSONL row-store path; evaluate through a content-addressed result cache")
+	list := fs.Bool("list", false, "list the registered algorithms and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range schedule.Names() {
+			alg, err := schedule.Lookup(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-20s %-10s %s\n", name, alg.Kind(), schedule.DisplayName(name))
+		}
+		return nil
+	}
+	var backend schedule.Backend = schedule.Local{}
+	var cached *schedule.Cached
+	if *cache != "" {
+		store, err := schedule.OpenJSONLStore(*cache)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cached = schedule.NewCached(backend, store)
+		backend = cached
+		fmt.Fprintf(w, "scheduled: row store %s holds %d rows\n", *cache, store.Len())
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scheduled: listening on http://%s (%d algorithms, backend %s)\n",
+		ln.Addr(), len(schedule.Names()), backend.Capabilities().Name)
+	srv := &http.Server{Handler: service.NewServer(backend, *workers).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	if cached != nil {
+		hits, misses := cached.Counters()
+		fmt.Fprintf(w, "scheduled: served %d cache hits, %d misses\n", hits, misses)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/tree"
+)
+
+var addrRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// startScheduled runs the binary's run() on an ephemeral port and returns
+// the base URL plus a shutdown func that waits for a clean exit.
+func startScheduled(t *testing.T, extraArgs ...string) (string, func() string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		err := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, extraArgs...), pw)
+		pw.Close()
+		errc <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	var base string
+	for sc.Scan() {
+		out.WriteString(sc.Text())
+		out.WriteByte('\n')
+		if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+			base = m[1]
+			break
+		}
+	}
+	if base == "" {
+		cancel()
+		t.Fatalf("server never reported its address; output:\n%s\nerr: %v", out.String(), <-errc)
+	}
+	drained := make(chan struct{})
+	go func() { // keep draining so shutdown prints don't block the pipe
+		defer close(drained)
+		for sc.Scan() {
+			out.WriteString(sc.Text())
+			out.WriteByte('\n')
+		}
+	}()
+	return base, func() string {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("server exited with %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+		<-drained
+		return out.String()
+	}
+}
+
+func TestServeHealthAndBatch(t *testing.T) {
+	base, shutdown := startScheduled(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	client := service.NewClient(base, nil)
+	h, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "harpoon", Tree: h, Algorithm: "postorder"},
+		{Instance: "harpoon", Tree: h, Algorithm: "minmem"},
+	}
+	rows, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Harpoon(3, 2, 30, 1): postorder needs 71, optimal 35.
+	if rows[0].Memory != 71 || rows[1].Memory != 35 {
+		t.Fatalf("wrong remote results: %+v", rows)
+	}
+	shutdown()
+}
+
+func TestServeWithCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "rows.jsonl")
+	base, shutdown := startScheduled(t, "-cache", cache)
+	client := service.NewClient(base, nil)
+	h, err := tree.NestedHarpoon(2, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{{Instance: "h", Tree: h, Algorithm: "minmem"}}
+	first, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != second[0] {
+		t.Fatalf("cached replay not bit-identical: %+v vs %+v", first[0], second[0])
+	}
+	out := shutdown()
+	if !strings.Contains(out, "1 cache hits, 1 misses") {
+		t.Fatalf("shutdown did not report cache counters:\n%s", out)
+	}
+}
+
+func TestListAndErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"minmem", "minmemory", "first-fit", "minio", "Liu"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, sb.String())
+		}
+	}
+	if err := run(context.Background(), []string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &sb); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/runner"
+)
+
+// Capabilities is the metadata a backend reports about itself, used by
+// callers to pick output wording and by wiring code to sanity-check a
+// configuration (e.g. refusing to nest two caches).
+type Capabilities struct {
+	// Name identifies the backend in logs and error messages, e.g.
+	// "local", "cached(local)", "http".
+	Name string
+	// Remote reports that jobs leave the process: trees are serialized and
+	// the work runs elsewhere, so job slices must not rely on shared memory.
+	Remote bool
+	// Cached reports that the backend may satisfy jobs from a store without
+	// executing any algorithm.
+	Cached bool
+}
+
+// Backend evaluates a batch of jobs and returns one row per job, in job
+// order. Implementations must be deterministic modulo the Seconds column:
+// given the same jobs, every backend returns bit-identical rows. The first
+// failing job fails the batch.
+//
+// Three implementations ship with the repository: Local (the in-process
+// worker-pool evaluator), Cached (a content-addressed decorator over any
+// backend, see NewCached) and the HTTP client of internal/service speaking
+// to a cmd/scheduled evaluation server.
+type Backend interface {
+	Capabilities() Capabilities
+	Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error)
+}
+
+// Local is the in-process backend: it evaluates every job concurrently on
+// runner.ForEach against the process-wide algorithm registry. The zero
+// value is ready to use.
+type Local struct{}
+
+// Capabilities implements Backend.
+func (Local) Capabilities() Capabilities { return Capabilities{Name: "local"} }
+
+// Run implements Backend. Algorithms are deterministic and jobs are
+// independent, so the rows are bit-identical to a sequential run; only the
+// Seconds column varies. The first failing job cancels the rest.
+func (Local) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error) {
+	rows := make([]Row, len(jobs))
+	var mu sync.Mutex
+	err := runner.ForEach(ctx, len(jobs), opt.Workers, func(i int) error {
+		row, err := runJob(jobs[i])
+		if err != nil {
+			return fmt.Errorf("schedule: job %s/%s: %w", jobs[i].Instance, jobs[i].Algorithm, err)
+		}
+		rows[i] = row
+		if opt.OnRow != nil || opt.OnRowIndexed != nil {
+			mu.Lock()
+			if opt.OnRow != nil {
+				opt.OnRow(row)
+			}
+			if opt.OnRowIndexed != nil {
+				opt.OnRowIndexed(i, row)
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

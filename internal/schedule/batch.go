@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/runner"
@@ -37,51 +36,40 @@ type Job struct {
 }
 
 // Row is the structured result of one job, ready for CSV or JSON streaming.
+// Budget is emitted unconditionally (no omitempty): MinMemory rows carry an
+// explicit zero, keeping JSON objects in column parity with the CSV header.
 type Row struct {
 	Instance  string  `json:"instance"`
 	Algorithm string  `json:"algorithm"`
 	Kind      string  `json:"kind"`
-	Budget    int64   `json:"budget,omitempty"`
+	Budget    int64   `json:"budget"`
 	Memory    int64   `json:"memory"`
 	IO        int64   `json:"io"`
 	Writes    int     `json:"writes"`
 	Seconds   float64 `json:"seconds"`
 }
 
-// BatchOptions configures RunBatch.
+// BatchOptions configures a Backend run.
 type BatchOptions struct {
-	// Workers bounds the worker pool; ≤ 0 selects GOMAXPROCS.
+	// Workers bounds the worker pool; ≤ 0 selects GOMAXPROCS. Remote
+	// backends forward it to the server, where the same convention applies.
 	Workers int
 	// OnRow, when non-nil, receives each row as its job completes
 	// (completion order, serialized by the evaluator). The returned slice
 	// is always in job order regardless.
 	OnRow func(Row)
+	// OnRowIndexed is OnRow plus the job index, for callers that need to
+	// correlate streamed rows with jobs (the evaluation service streams
+	// indexed rows over the wire). Serialized with OnRow.
+	OnRowIndexed func(i int, r Row)
 }
 
-// RunBatch evaluates every job concurrently on runner.ForEach and returns
-// one row per job, in job order. Algorithms are deterministic and jobs are
-// independent, so the rows are bit-identical to a sequential run; only the
-// Seconds column varies. The first failing job cancels the rest.
+// RunBatch evaluates the jobs on the default Local backend. It is the
+// compatibility shim over the Backend interface: existing callers keep the
+// one-call API, while backend-aware callers pick Local, NewCached or the
+// service client explicitly.
 func RunBatch(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error) {
-	rows := make([]Row, len(jobs))
-	var mu sync.Mutex
-	err := runner.ForEach(ctx, len(jobs), opt.Workers, func(i int) error {
-		row, err := runJob(jobs[i])
-		if err != nil {
-			return fmt.Errorf("schedule: job %s/%s: %w", jobs[i].Instance, jobs[i].Algorithm, err)
-		}
-		rows[i] = row
-		if opt.OnRow != nil {
-			mu.Lock()
-			opt.OnRow(row)
-			mu.Unlock()
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return Local{}.Run(ctx, jobs, opt)
 }
 
 func runJob(j Job) (Row, error) {

@@ -1,0 +1,338 @@
+package schedule
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tree"
+)
+
+// CacheKey derives the content-addressed key of a job: the canonical tree
+// digest, the algorithm name, the memory budget, the Best-K window and a
+// digest of the replay order (orders are long, so they are hashed rather
+// than inlined). Jobs with equal keys are guaranteed to produce equal rows
+// up to the Seconds column, because every field an algorithm's Run can
+// observe is part of the key. The instance name is deliberately excluded —
+// it is reporting identity, not algorithm input — and the cached backend
+// restamps it on every hit, so the same tree cached under one name is
+// shared by all names.
+func CacheKey(j Job) string {
+	return cacheKey(j, j.Tree.Digest())
+}
+
+func cacheKey(j Job, td tree.Digest) string {
+	var sb strings.Builder
+	sb.WriteString(td.String())
+	sb.WriteByte('/')
+	sb.WriteString(j.Algorithm)
+	sb.WriteString("/m")
+	sb.WriteString(strconv.FormatInt(j.Memory, 10))
+	sb.WriteString("/w")
+	sb.WriteString(strconv.Itoa(j.Window))
+	sb.WriteString("/o")
+	if j.Order == nil {
+		sb.WriteByte('-')
+	} else {
+		h := sha256.New()
+		buf := make([]byte, 0, 12)
+		for _, v := range j.Order {
+			buf = strconv.AppendInt(buf[:0], int64(v), 10)
+			buf = append(buf, ',')
+			h.Write(buf)
+		}
+		sb.WriteString(hex.EncodeToString(h.Sum(nil)))
+	}
+	return sb.String()
+}
+
+// Store is a content-addressed row store for the cached backend. Get and
+// Put must be safe for concurrent use.
+type Store interface {
+	Get(key string) (Row, bool)
+	Put(key string, row Row) error
+}
+
+// MemStore is an in-memory Store. The zero value is not usable; construct
+// with NewMemStore.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string]Row
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: map[string]Row{}} }
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (Row, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, row Row) error {
+	s.mu.Lock()
+	s.m[key] = row
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of cached rows.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// jsonlEntry is one line of the on-disk store.
+type jsonlEntry struct {
+	Key string `json:"key"`
+	Row Row    `json:"row"`
+}
+
+// JSONLStore is a Store persisted as an append-only JSON Lines file: one
+// {"key": …, "row": …} object per line. Construct with OpenJSONLStore.
+type JSONLStore struct {
+	mu     sync.Mutex
+	m      map[string]Row
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+}
+
+// OpenJSONLStore opens (creating if absent) the store at path and loads
+// every entry into memory. Corrupt content — a truncated tail after a
+// crash, or bytes that are not store entries at all — is not fatal: the
+// surviving entries are kept, the damaged rows read as misses, and the
+// file is compacted (rewritten atomically from the surviving entries) so
+// the damage does not glue onto future appends or resurface on the next
+// open. The whole file is held in memory either way, which is fine for a
+// result cache of small rows.
+func OpenJSONLStore(path string) (*JSONLStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("schedule: read row store: %w", err)
+	}
+	m := map[string]Row{}
+	damaged := len(data) > 0 && data[len(data)-1] != '\n'
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil // partial tail, already flagged damaged above
+		}
+		var e jsonlEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			damaged = true
+			continue
+		}
+		m[e.Key] = e.Row
+	}
+	if damaged {
+		if err := rewriteJSONL(path, m); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: open row store: %w", err)
+	}
+	return &JSONLStore{m: m, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// rewriteJSONL atomically replaces the store file with the given entries.
+func rewriteJSONL(path string, m map[string]Row) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for key, row := range m {
+		if err := enc.Encode(jsonlEntry{Key: key, Row: row}); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("schedule: compact row store: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *JSONLStore) Get(key string) (Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
+// Put implements Store: the entry is recorded in memory and appended to the
+// file (flushed on Close).
+func (s *JSONLStore) Put(key string, row Row) error {
+	b, err := json.Marshal(jsonlEntry{Key: key, Row: row})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = row
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("schedule: append row store: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of cached rows.
+func (s *JSONLStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Close flushes pending appends and closes the file. Closing an already
+// closed store is a no-op, so Close can be both deferred and error-checked.
+func (s *JSONLStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Cached decorates a Backend with a content-addressed result cache: jobs
+// whose CacheKey is in the store are answered with the stored row
+// (bit-identical replay, original Seconds included); only the misses reach
+// the inner backend, and their rows are stored as they complete, so a batch
+// that fails half-way still banks the finished work. Construct with
+// NewCached.
+type Cached struct {
+	inner  Backend
+	store  Store
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCached wraps inner with the store. A nil store selects a fresh
+// MemStore; a nil inner selects Local.
+func NewCached(inner Backend, store Store) *Cached {
+	if inner == nil {
+		inner = Local{}
+	}
+	if store == nil {
+		store = NewMemStore()
+	}
+	return &Cached{inner: inner, store: store}
+}
+
+// Capabilities implements Backend.
+func (c *Cached) Capabilities() Capabilities {
+	in := c.inner.Capabilities()
+	return Capabilities{Name: "cached(" + in.Name + ")", Remote: in.Remote, Cached: true}
+}
+
+// Counters returns the cumulative hit and miss counts across Run calls.
+func (c *Cached) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Run implements Backend. Hit rows are streamed to OnRow first (in job
+// order), then the misses stream as the inner backend completes them. Miss
+// rows are stored as they complete (not after the batch), so one failing
+// job does not discard the rows that did finish — the rerun only pays for
+// what is genuinely missing.
+func (c *Cached) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error) {
+	// Memoize digests per Run by tree pointer: a grid reuses the same
+	// *tree.Tree across many jobs. The map is Run-local so a long-running
+	// server does not pin every tree it ever decoded.
+	digests := map[*tree.Tree]tree.Digest{}
+	digest := func(t *tree.Tree) tree.Digest {
+		d, ok := digests[t]
+		if !ok {
+			d = t.Digest()
+			digests[t] = d
+		}
+		return d
+	}
+	rows := make([]Row, len(jobs))
+	keys := make([]string, len(jobs))
+	var missIdx []int
+	for i, j := range jobs {
+		keys[i] = cacheKey(j, digest(j.Tree))
+		if row, ok := c.store.Get(keys[i]); ok {
+			// The instance name is reporting identity, not algorithm input,
+			// so it is not part of the key: restamp the stored row with this
+			// job's name to keep the replay indistinguishable from a run.
+			row.Instance = j.Instance
+			rows[i] = row
+			c.hits.Add(1)
+			if opt.OnRow != nil {
+				opt.OnRow(row)
+			}
+			if opt.OnRowIndexed != nil {
+				opt.OnRowIndexed(i, row)
+			}
+		} else {
+			c.misses.Add(1)
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		return rows, nil
+	}
+	missJobs := make([]Job, len(missIdx))
+	for k, i := range missIdx {
+		missJobs[k] = jobs[i]
+	}
+	var putErr error // OnRowIndexed calls are serialized by the Backend contract
+	missOpt := BatchOptions{
+		Workers: opt.Workers,
+		OnRowIndexed: func(k int, r Row) {
+			if err := c.store.Put(keys[missIdx[k]], r); err != nil && putErr == nil {
+				putErr = err
+			}
+			if opt.OnRow != nil {
+				opt.OnRow(r)
+			}
+			if opt.OnRowIndexed != nil {
+				opt.OnRowIndexed(missIdx[k], r)
+			}
+		},
+	}
+	missRows, err := c.inner.Run(ctx, missJobs, missOpt)
+	if err != nil {
+		return nil, err
+	}
+	if putErr != nil {
+		return nil, putErr
+	}
+	for k, i := range missIdx {
+		rows[i] = missRows[k]
+	}
+	return rows, nil
+}

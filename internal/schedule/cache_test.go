@@ -1,0 +1,325 @@
+package schedule_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// countingBackend wraps an inner backend and counts the jobs that actually
+// reach it — the probe for "a warm rerun executes zero algorithm runs".
+type countingBackend struct {
+	inner schedule.Backend
+	jobs  atomic.Int64
+}
+
+func (b *countingBackend) Capabilities() schedule.Capabilities {
+	return b.inner.Capabilities()
+}
+
+func (b *countingBackend) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
+	b.jobs.Add(int64(len(jobs)))
+	return b.inner.Run(ctx, jobs, opt)
+}
+
+func gridJobs(t *testing.T) []schedule.Job {
+	t.Helper()
+	insts := batchInstances(t)
+	jobs := schedule.MinMemoryGrid(insts, []string{"postorder", "minmem"})
+	memories := func(tr *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		return []int64{tr.MaxMemReq()}, nil
+	}
+	polJobs, err := schedule.MinIOGrid(context.Background(), insts, "minmem", schedule.EvictionPolicyNames(), memories, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(jobs, polJobs...)
+}
+
+func sameRowsNoTime(t *testing.T, a, b []schedule.Row, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d rows vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.Seconds, y.Seconds = 0, 0
+		if x != y {
+			t.Fatalf("%s: row %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// A cold cached grid must equal the uncached grid row for row (Seconds
+// aside); a warm rerun must be answered entirely from the store, executing
+// zero algorithm runs.
+func TestCachedColdWarm(t *testing.T) {
+	jobs := gridJobs(t)
+	uncached, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counting := &countingBackend{inner: schedule.Local{}}
+	cached := schedule.NewCached(counting, nil)
+	if caps := cached.Capabilities(); !caps.Cached || caps.Name != "cached(local)" {
+		t.Fatalf("bad capabilities %+v", caps)
+	}
+	streamed := 0
+	cold, err := cached.Run(context.Background(), jobs, schedule.BatchOptions{
+		OnRow: func(schedule.Row) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, uncached, cold, "cold vs uncached")
+	if streamed != len(jobs) {
+		t.Fatalf("cold run streamed %d rows, want %d", streamed, len(jobs))
+	}
+	if hits, misses := cached.Counters(); hits != 0 || misses != int64(len(jobs)) {
+		t.Fatalf("cold counters hits=%d misses=%d, want 0/%d", hits, misses, len(jobs))
+	}
+	if got := counting.jobs.Load(); got != int64(len(jobs)) {
+		t.Fatalf("cold run reached inner backend with %d jobs, want %d", got, len(jobs))
+	}
+
+	streamed = 0
+	indexed := 0
+	warm, err := cached.Run(context.Background(), jobs, schedule.BatchOptions{
+		OnRow: func(schedule.Row) { streamed++ },
+		OnRowIndexed: func(i int, r schedule.Row) {
+			if r != cold[i] {
+				t.Fatalf("indexed row %d is not the bit-identical replay: %+v vs %+v", i, r, cold[i])
+			}
+			indexed++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm replay is bit-identical, Seconds included: the stored row comes
+	// back exactly as computed.
+	if len(warm) != len(cold) {
+		t.Fatalf("warm has %d rows, want %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Fatalf("warm row %d not bit-identical: %+v vs %+v", i, warm[i], cold[i])
+		}
+	}
+	if streamed != len(jobs) || indexed != len(jobs) {
+		t.Fatalf("warm run streamed %d/%d rows, want %d", streamed, indexed, len(jobs))
+	}
+	if hits, misses := cached.Counters(); hits != int64(len(jobs)) || misses != int64(len(jobs)) {
+		t.Fatalf("warm counters hits=%d misses=%d, want %d/%d", hits, misses, len(jobs), len(jobs))
+	}
+	if got := counting.jobs.Load(); got != int64(len(jobs)) {
+		t.Fatalf("warm run executed %d extra algorithm runs", got-int64(len(jobs)))
+	}
+}
+
+// A partially warm store serves the overlap and runs only the new jobs.
+func TestCachedPartialOverlap(t *testing.T) {
+	jobs := gridJobs(t)
+	half := jobs[:len(jobs)/2]
+	counting := &countingBackend{inner: schedule.Local{}}
+	cached := schedule.NewCached(counting, nil)
+	if _, err := cached.Run(context.Background(), half, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(jobs)) // half cold, then only the other half
+	if got := counting.jobs.Load(); got != want {
+		t.Fatalf("inner backend saw %d jobs, want %d", got, want)
+	}
+	hits, misses := cached.Counters()
+	if hits != int64(len(half)) || misses != want {
+		t.Fatalf("counters hits=%d misses=%d, want %d/%d", hits, misses, len(half), want)
+	}
+}
+
+// The cache key must separate every dimension an algorithm can observe:
+// tree content, algorithm name, budget, window and replay order.
+func TestCacheKeyDimensions(t *testing.T) {
+	tr := randomTree(t, 1, 30)
+	other := randomTree(t, 2, 30)
+	base := schedule.Job{Tree: tr, Algorithm: "lsnf", Order: tr.TopDown(), Memory: 100, Window: 5}
+	reordered := base
+	reordered.Order = append([]int(nil), base.Order...)
+	reordered.Order[len(reordered.Order)-1], reordered.Order[len(reordered.Order)-2] =
+		reordered.Order[len(reordered.Order)-2], reordered.Order[len(reordered.Order)-1]
+	variants := map[string]schedule.Job{
+		"tree":     {Tree: other, Algorithm: "lsnf", Order: base.Order, Memory: 100, Window: 5},
+		"algo":     {Tree: tr, Algorithm: "best-fit", Order: base.Order, Memory: 100, Window: 5},
+		"memory":   {Tree: tr, Algorithm: "lsnf", Order: base.Order, Memory: 101, Window: 5},
+		"window":   {Tree: tr, Algorithm: "lsnf", Order: base.Order, Memory: 100, Window: 6},
+		"order":    reordered,
+		"no-order": {Tree: tr, Algorithm: "lsnf", Memory: 100, Window: 5},
+	}
+	baseKey := schedule.CacheKey(base)
+	if baseKey != schedule.CacheKey(base) {
+		t.Fatal("cache key not deterministic")
+	}
+	for name, v := range variants {
+		if schedule.CacheKey(v) == baseKey {
+			t.Fatalf("changing %s does not change the cache key", name)
+		}
+	}
+}
+
+// The JSONL store persists across processes (reopen), and a corrupted store
+// degrades to misses instead of failing: damaged lines are skipped on load
+// and re-written by the next run.
+func TestJSONLStoreAndCorruptionRecovery(t *testing.T) {
+	jobs := gridJobs(t)
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+
+	store, err := schedule.OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := schedule.NewCached(schedule.Local{}, store).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: fully warm, zero algorithm runs, bit-identical rows.
+	store, err = schedule.OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(jobs) {
+		t.Fatalf("reopened store holds %d rows, want %d", store.Len(), len(jobs))
+	}
+	counting := &countingBackend{inner: schedule.Local{}}
+	warmBackend := schedule.NewCached(counting, store)
+	warm, err := warmBackend.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Fatalf("row %d not replayed bit-identically from disk: %+v vs %+v", i, warm[i], cold[i])
+		}
+	}
+	if got := counting.jobs.Load(); got != 0 {
+		t.Fatalf("warm disk run executed %d algorithm runs, want 0", got)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the store: truncate mid-line and splice garbage in front.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte("not json at all\n{\"key\": 12}\n"), data[:len(data)-len(data)/3]...)
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err = schedule.OpenJSONLStore(path)
+	if err != nil {
+		t.Fatalf("corrupted store must open, got %v", err)
+	}
+	defer store.Close()
+	if store.Len() >= len(jobs) || store.Len() == 0 {
+		t.Fatalf("corrupted store holds %d rows, want a strict non-empty subset of %d", store.Len(), len(jobs))
+	}
+	counting = &countingBackend{inner: schedule.Local{}}
+	recovered, err := schedule.NewCached(counting, store).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, cold, recovered, "recovered vs cold")
+	if got := counting.jobs.Load(); got == 0 || got >= int64(len(jobs)) {
+		t.Fatalf("recovery run executed %d algorithm runs, want only the damaged subset (0 < n < %d)", got, len(jobs))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovery must stick: the corrupted region was compacted away, so
+	// yet another open holds every row (the healed entries did not glue
+	// onto the partial tail) and a rerun is fully warm.
+	store, err = schedule.OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != len(jobs) {
+		t.Fatalf("healed store holds %d rows after reopen, want %d", store.Len(), len(jobs))
+	}
+	counting = &countingBackend{inner: schedule.Local{}}
+	if _, err := schedule.NewCached(counting, store).Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.jobs.Load(); got != 0 {
+		t.Fatalf("healed store still re-ran %d jobs", got)
+	}
+}
+
+// The instance name is reporting identity, not algorithm input: a job whose
+// tree content is already cached under another instance name hits, and the
+// replayed row carries this job's name.
+func TestCachedRestampsInstance(t *testing.T) {
+	tr := randomTree(t, 3, 40)
+	counting := &countingBackend{inner: schedule.Local{}}
+	cached := schedule.NewCached(counting, nil)
+	first, err := cached.Run(context.Background(),
+		[]schedule.Job{{Instance: "alpha", Tree: tr, Algorithm: "minmem"}}, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []schedule.Row
+	second, err := cached.Run(context.Background(),
+		[]schedule.Job{{Instance: "beta", Tree: tr, Algorithm: "minmem"}}, schedule.BatchOptions{
+			OnRow: func(r schedule.Row) { streamed = append(streamed, r) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.jobs.Load(); got != 1 {
+		t.Fatalf("same tree under a new name re-ran (%d algorithm runs, want 1)", got)
+	}
+	if second[0].Instance != "beta" || len(streamed) != 1 || streamed[0].Instance != "beta" {
+		t.Fatalf("hit row not restamped: returned %+v, streamed %+v", second[0], streamed)
+	}
+	want := first[0]
+	want.Instance = "beta"
+	if second[0] != want {
+		t.Fatalf("restamped row differs beyond the name: %+v vs %+v", second[0], want)
+	}
+}
+
+// A batch that fails half-way still banks its completed rows: the rerun of
+// the good jobs is fully warm.
+func TestCachedBanksRowsOnFailure(t *testing.T) {
+	insts := batchInstances(t)
+	good := schedule.MinMemoryGrid(insts, []string{"postorder", "minmem"})
+	bad := append(append([]schedule.Job(nil), good...),
+		schedule.Job{Instance: "x", Tree: insts[0].Tree, Algorithm: "no-such-solver"})
+	store := schedule.NewMemStore()
+	cached := schedule.NewCached(schedule.Local{}, store)
+	if _, err := cached.Run(context.Background(), bad, schedule.BatchOptions{Workers: 1}); err == nil {
+		t.Fatal("failing batch reported success")
+	}
+	counting := &countingBackend{inner: schedule.Local{}}
+	rerun := schedule.NewCached(counting, store)
+	if _, err := rerun.Run(context.Background(), good, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.jobs.Load(); got != 0 {
+		t.Fatalf("rerun after partial failure re-ran %d jobs, want 0 (rows were banked)", got)
+	}
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// Client is the remote evaluation backend: a schedule.Backend that ships
+// job batches to a service server over HTTP and reassembles the streamed
+// rows in job order. Construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"; a trailing slash is tolerated). A nil
+// httpClient selects http.DefaultClient, whose zero timeout suits the
+// long-lived streaming batch call.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Capabilities implements schedule.Backend.
+func (c *Client) Capabilities() schedule.Capabilities {
+	return schedule.Capabilities{Name: "http(" + c.base + ")", Remote: true}
+}
+
+// Algorithms lists the algorithms registered on the server.
+func (c *Client) Algorithms(ctx context.Context) ([]AlgorithmInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/algorithms", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var infos []AlgorithmInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("service: decode algorithms: %w", err)
+	}
+	return infos, nil
+}
+
+// Run implements schedule.Backend: it serializes each distinct tree once
+// (in .tree wire form), posts the batch, streams rows back and returns them
+// in job order. Rows are exactly what the server computed — the remote grid
+// is bit-identical to a local run up to the Seconds column.
+func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
+	req, err := encodeBatch(jobs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	rows := make([]schedule.Row, len(jobs))
+	got := make([]bool, len(jobs))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var line BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("service: bad response line %q: %w", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			return nil, fmt.Errorf("service: remote batch failed: %s", line.Error)
+		case line.Done:
+			if line.Count != len(jobs) {
+				return nil, fmt.Errorf("service: server reports %d rows, want %d", line.Count, len(jobs))
+			}
+			for i, ok := range got {
+				if !ok {
+					return nil, fmt.Errorf("service: no row received for job %d", i)
+				}
+			}
+			return rows, nil
+		case line.Row != nil:
+			if line.Index < 0 || line.Index >= len(jobs) {
+				return nil, fmt.Errorf("service: row index %d out of range [0,%d)", line.Index, len(jobs))
+			}
+			rows[line.Index] = *line.Row
+			got[line.Index] = true
+			if opt.OnRow != nil {
+				opt.OnRow(*line.Row)
+			}
+			if opt.OnRowIndexed != nil {
+				opt.OnRowIndexed(line.Index, *line.Row)
+			}
+		default:
+			return nil, fmt.Errorf("service: unrecognized response line %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: read response: %w", err)
+	}
+	return nil, fmt.Errorf("service: response stream truncated (no done line)")
+}
+
+// encodeBatch builds the wire request: each distinct *tree.Tree serialized
+// once under a generated id.
+func encodeBatch(jobs []schedule.Job, workers int) (BatchRequest, error) {
+	req := BatchRequest{Trees: map[string]string{}, Jobs: make([]JobSpec, len(jobs)), Workers: workers}
+	ids := map[*tree.Tree]string{}
+	for i, j := range jobs {
+		if j.Tree == nil {
+			return BatchRequest{}, fmt.Errorf("service: job %d has a nil tree", i)
+		}
+		id, ok := ids[j.Tree]
+		if !ok {
+			id = "t" + strconv.Itoa(len(ids))
+			ids[j.Tree] = id
+			var sb strings.Builder
+			if err := j.Tree.Write(&sb); err != nil {
+				return BatchRequest{}, fmt.Errorf("service: serialize tree of job %d: %w", i, err)
+			}
+			req.Trees[id] = sb.String()
+		}
+		req.Jobs[i] = JobSpec{
+			Instance:  j.Instance,
+			Tree:      id,
+			Algorithm: j.Algorithm,
+			Order:     j.Order,
+			Memory:    j.Memory,
+			Window:    j.Window,
+		}
+	}
+	return req, nil
+}
+
+// httpError reads a non-200 response into an error, keeping the body short.
+func httpError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(b))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("service: %s: %s", resp.Request.URL.Path, msg)
+}

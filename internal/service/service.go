@@ -1,0 +1,209 @@
+// Package service exposes the schedule algorithm registry as a long-running
+// HTTP/JSON evaluation service, plus the client that speaks to it. The
+// server side is a plain http.Handler (cmd/scheduled serves it); the Client
+// implements schedule.Backend, so a remote server slots into any code that
+// evaluates grids through the Backend interface.
+//
+// Wire protocol (versioned under /v1):
+//
+//	GET  /healthz        → {"status":"ok","algorithms":N}
+//	GET  /v1/algorithms  → JSON array of {name, kind, display}
+//	POST /v1/batch       → request: {"trees": {id: <.tree text>},
+//	                                 "jobs": [{instance, tree, algorithm,
+//	                                           order?, memory?, window?}],
+//	                                 "workers"?: N}
+//	                       response: JSON Lines, one line per completed job
+//	                       in completion order — {"index": i, "row": {…}} —
+//	                       terminated by {"done": true, "count": N} on
+//	                       success or {"error": "…"} on failure.
+//
+// Trees travel in the .tree wire form of internal/tree (text, one node per
+// line) and are referenced by id from jobs, so a grid of J jobs over T
+// trees serializes each tree once, not J times. The trailing done/error
+// line is mandatory: rows stream as they complete, so the HTTP status is
+// already committed when a late job fails, and a client must treat a stream
+// without a terminator as truncated.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// AlgorithmInfo describes one registry entry on the wire.
+type AlgorithmInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Display string `json:"display"`
+}
+
+// JobSpec is one job on the wire: schedule.Job with the tree replaced by a
+// reference into BatchRequest.Trees.
+type JobSpec struct {
+	Instance  string `json:"instance"`
+	Tree      string `json:"tree"`
+	Algorithm string `json:"algorithm"`
+	Order     []int  `json:"order,omitempty"`
+	Memory    int64  `json:"memory,omitempty"`
+	Window    int    `json:"window,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Trees maps tree ids to .tree wire-form text.
+	Trees map[string]string `json:"trees"`
+	Jobs  []JobSpec         `json:"jobs"`
+	// Workers bounds the server-side worker pool (≤ 0: server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchLine is one line of the POST /v1/batch response stream.
+type BatchLine struct {
+	Index int           `json:"index,omitempty"`
+	Row   *schedule.Row `json:"row,omitempty"`
+	Error string        `json:"error,omitempty"`
+	Done  bool          `json:"done,omitempty"`
+	Count int           `json:"count,omitempty"`
+}
+
+// maxBatchBytes bounds a batch request body (64 MiB — a full-scale grid
+// over the dataset suite is well under 10 MiB on the wire).
+const maxBatchBytes = 64 << 20
+
+// Server answers the evaluation API over a schedule.Backend.
+type Server struct {
+	backend schedule.Backend
+	workers int
+}
+
+// NewServer builds a server over backend (nil selects schedule.Local) with
+// workers bounding each batch's pool unless the request asks for fewer
+// (≤ 0: GOMAXPROCS).
+func NewServer(backend schedule.Backend, workers int) *Server {
+	if backend == nil {
+		backend = schedule.Local{}
+	}
+	return &Server{backend: backend, workers: workers}
+}
+
+// Handler returns the routed http.Handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"backend":    s.backend.Capabilities().Name,
+		"algorithms": len(schedule.Names()),
+	})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var infos []AlgorithmInfo
+	for _, name := range schedule.Names() {
+		alg, err := schedule.Lookup(name)
+		if err != nil {
+			continue // unregistered between Names and Lookup: impossible today
+		}
+		infos = append(infos, AlgorithmInfo{Name: name, Kind: alg.Kind().String(), Display: schedule.DisplayName(name)})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	jobs, err := decodeJobs(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The request can narrow the server's worker bound, never widen it: a
+	// remote client must not be able to oversubscribe the server.
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+
+	// From here on the response is a committed 200 stream; failures travel
+	// as a trailing error line, not a status code.
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	rows, err := s.backend.Run(r.Context(), jobs, schedule.BatchOptions{
+		Workers: workers,
+		OnRowIndexed: func(i int, row schedule.Row) {
+			enc.Encode(BatchLine{Index: i, Row: &row})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+	})
+	if err != nil {
+		enc.Encode(BatchLine{Error: err.Error()})
+		return
+	}
+	enc.Encode(BatchLine{Done: true, Count: len(rows)})
+}
+
+// decodeJobs parses the request's trees once each and resolves job specs
+// against them.
+func decodeJobs(req BatchRequest) ([]schedule.Job, error) {
+	trees := make(map[string]*tree.Tree, len(req.Trees))
+	for id, text := range req.Trees {
+		t, err := tree.Read(strings.NewReader(text))
+		if err != nil {
+			return nil, fmt.Errorf("service: tree %q: %w", id, err)
+		}
+		trees[id] = t
+	}
+	jobs := make([]schedule.Job, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		t, ok := trees[spec.Tree]
+		if !ok {
+			return nil, fmt.Errorf("service: job %d references unknown tree %q", i, spec.Tree)
+		}
+		jobs[i] = schedule.Job{
+			Instance:  spec.Instance,
+			Tree:      t,
+			Algorithm: spec.Algorithm,
+			Order:     spec.Order,
+			Memory:    spec.Memory,
+			Window:    spec.Window,
+		}
+	}
+	return jobs, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,190 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/tree"
+
+	// The server side evaluates against the registry: register everything.
+	_ "repro/internal/minio"
+	_ "repro/internal/traversal"
+)
+
+func testInstances(t *testing.T) []schedule.Instance {
+	t.Helper()
+	var out []schedule.Instance
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(rng, tree.RandomOptions{Nodes: 30 + int(seed)*7, MaxF: 15, MaxN: 6, Attach: tree.AttachKind(seed % 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, schedule.Instance{Name: fmt.Sprintf("rand-%d", seed), Tree: tr})
+	}
+	return out
+}
+
+func testJobs(t *testing.T) []schedule.Job {
+	t.Helper()
+	insts := testInstances(t)
+	jobs := schedule.MinMemoryGrid(insts, []string{"postorder", "liu", "minmem"})
+	memories := func(tr *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		return []int64{tr.MaxMemReq()}, nil
+	}
+	polJobs, err := schedule.MinIOGrid(context.Background(), insts, "minmem", schedule.EvictionPolicyNames(), memories, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(jobs, polJobs...)
+}
+
+func startServer(t *testing.T, backend schedule.Backend) *service.Client {
+	t.Helper()
+	srv := httptest.NewServer(service.NewServer(backend, 0).Handler())
+	t.Cleanup(srv.Close)
+	return service.NewClient(srv.URL+"/", srv.Client()) // trailing slash must be tolerated
+}
+
+// A remote grid must return the rows of a local run bit-identically (the
+// Seconds column aside — it is measured on the server).
+func TestRemoteMatchesLocal(t *testing.T) {
+	jobs := testJobs(t)
+	local, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := startServer(t, nil)
+	if caps := client.Capabilities(); !caps.Remote {
+		t.Fatalf("client capabilities %+v not remote", caps)
+	}
+	streamed := 0
+	indexed := map[int]bool{}
+	remote, err := client.Run(context.Background(), jobs, schedule.BatchOptions{
+		Workers: 4,
+		OnRow:   func(schedule.Row) { streamed++ },
+		OnRowIndexed: func(i int, r schedule.Row) {
+			if indexed[i] {
+				t.Fatalf("row %d streamed twice", i)
+			}
+			indexed[i] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(jobs) || len(indexed) != len(jobs) {
+		t.Fatalf("streamed %d rows (%d indexed), want %d", streamed, len(indexed), len(jobs))
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote returned %d rows, want %d", len(remote), len(local))
+	}
+	for i := range local {
+		a, b := local[i], remote[i]
+		a.Seconds, b.Seconds = 0, 0
+		if a != b {
+			t.Fatalf("row %d differs remote vs local: %+v vs %+v", i, remote[i], local[i])
+		}
+	}
+}
+
+// The service composes with the cache: a server over a Cached backend
+// answers a repeated batch from the store.
+func TestRemoteOverCachedBackend(t *testing.T) {
+	jobs := testJobs(t)
+	cached := schedule.NewCached(schedule.Local{}, nil)
+	client := startServer(t, cached)
+	first, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("warm remote row %d not bit-identical: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	if hits, misses := cached.Counters(); hits != int64(len(jobs)) || misses != int64(len(jobs)) {
+		t.Fatalf("server cache counters hits=%d misses=%d, want %d/%d", hits, misses, len(jobs), len(jobs))
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	client := startServer(t, nil)
+	infos, err := client.Algorithms(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(schedule.Names()) {
+		t.Fatalf("server lists %d algorithms, registry has %d", len(infos), len(schedule.Names()))
+	}
+	byName := map[string]service.AlgorithmInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if got := byName["minmem"].Kind; got != "minmemory" {
+		t.Fatalf("minmem kind %q", got)
+	}
+	if got := byName["first-fit"].Display; got != "First Fit" {
+		t.Fatalf("first-fit display %q", got)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	insts := testInstances(t)[:1]
+	client := startServer(t, nil)
+
+	// A failing job surfaces as a trailing error line → client error.
+	bad := []schedule.Job{{Instance: insts[0].Name, Tree: insts[0].Tree, Algorithm: "no-such-solver"}}
+	if _, err := client.Run(context.Background(), bad, schedule.BatchOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no-such-solver") {
+		t.Fatalf("unknown algorithm: got %v", err)
+	}
+
+	// A nil tree is rejected client-side before anything hits the wire.
+	if _, err := client.Run(context.Background(), []schedule.Job{{Algorithm: "minmem"}}, schedule.BatchOptions{}); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+
+	// Malformed request bodies and unknown tree references are 400s.
+	srv := httptest.NewServer(service.NewServer(nil, 0).Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"trees":{},"jobs":[{"instance":"x","tree":"missing","algorithm":"minmem"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tree ref: status %d, want 400", resp.StatusCode)
+	}
+
+	// A stream that ends without a done line is reported as truncated.
+	trunc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK) // no lines at all
+	}))
+	defer trunc.Close()
+	tclient := service.NewClient(trunc.URL, nil)
+	if _, err := tclient.Run(context.Background(), bad[:0], schedule.BatchOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream: got %v", err)
+	}
+}

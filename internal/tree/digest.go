@@ -1,0 +1,43 @@
+package tree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest is the 256-bit content hash of a tree instance. Two trees have the
+// same digest exactly when they are the same instance: same node count, same
+// parent vector, same F and N weights (up to SHA-256 collisions). The result
+// cache and the evaluation-service wire protocol both key on it.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lower-case hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Digest returns the content hash of the canonical binary serialization of
+// the tree: a version tag, the node count, then (parent, F, N) for every
+// node in index order, all little-endian. The encoding is independent of
+// platform, process and Go version, so digests are stable across machines —
+// a cache entry or a wire message produced anywhere names the same instance
+// everywhere. Node indices are part of the identity: traversal orders
+// exchanged alongside a tree reference nodes by index, and index-sensitive
+// solvers (natural-postorder) would otherwise alias distinct instances.
+func (t *Tree) Digest() Digest {
+	h := sha256.New()
+	var buf [8]byte
+	h.Write([]byte("repro/tree/v1\n"))
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.Len()))
+	h.Write(buf[:])
+	for i := 0; i < t.Len(); i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(t.parent[i])))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(t.f[i]))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(t.n[i]))
+		h.Write(buf[:])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
