@@ -15,6 +15,13 @@
 //	experiments -exp grid -algos postorder,liu,minmem -csv out/
 //	experiments -exp grid -backend cached -cache rows.jsonl -csv out/
 //	experiments -exp grid -backend http://127.0.0.1:8080 -notime -csv out/
+//	experiments -exp grid -backend http://h1:8080,http://h2:8080 -progress
+//
+// A comma-separated -backend URL list shards the grid: chunks of jobs fan
+// out across the servers concurrently, a failed chunk is resubmitted to
+// another server, and the merged rows are bit-identical to a local run
+// (Seconds aside). -progress reports rows/sec and completed/total on
+// stderr, so long sharded sweeps are observable.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -49,8 +57,10 @@ func run(args []string, w io.Writer) error {
 	seeds := fs.Int("seeds", 3, "random-weight copies per tree for table2/fig9")
 	workers := fs.Int("workers", 0, "parallel workers for table1 and grid (0 = GOMAXPROCS)")
 	algos := fs.String("algos", "postorder,liu,minmem", "MinMemory algorithms for the grid experiment")
-	backendSpec := fs.String("backend", "local", "grid evaluation backend: local | cached | http://host:port of a scheduled server")
+	backendSpec := fs.String("backend", "local", "grid evaluation backend: local | cached | scheduled-server URL(s); a comma-separated URL list shards the grid across the servers")
 	cachePath := fs.String("cache", "", "JSONL row-store path for -backend cached (empty = in-memory)")
+	retries := fs.Int("retries", 2, "per-chunk submission retries for remote backends (transient errors only)")
+	progress := fs.Bool("progress", false, "report grid progress (completed/total, rows/sec) on stderr")
 	noTime := fs.Bool("notime", false, "zero the seconds column of grid exports, making CSV/JSONL byte-identical across backends and reruns")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -207,7 +217,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	if want("grid") {
-		if err := runGrid(w, insts, *algos, *workers, *csvDir, *backendSpec, *cachePath, *noTime); err != nil {
+		if err := runGrid(w, insts, *algos, *workers, *csvDir, *backendSpec, *cachePath, *retries, *progress, *noTime); err != nil {
 			return err
 		}
 	}
@@ -215,11 +225,20 @@ func run(args []string, w io.Writer) error {
 }
 
 // newBackend resolves a -backend spec: "local", "cached" (decorating local
-// with an in-memory store, or the JSONL store at cachePath), or the URL of
-// a scheduled evaluation server. The cleanup func flushes the on-disk
-// store; call it when the grid is done.
-func newBackend(spec, cachePath string) (schedule.Backend, func() error, error) {
+// with an in-memory store, or the JSONL store at cachePath), the URL of a
+// scheduled evaluation server, or a comma-separated URL list, which builds
+// a schedule.Shard fanning chunks out across the servers. The cleanup func
+// flushes the on-disk store; call it when the grid is done.
+func newBackend(spec, cachePath string, retries int) (schedule.Backend, func() error, error) {
 	nop := func() error { return nil }
+	newClient := func(url string) (*service.Client, error) {
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("backend URL %q is not http(s)", url)
+		}
+		c := service.NewClient(url, nil)
+		c.Retries = retries
+		return c, nil
+	}
 	switch {
 	case spec == "local":
 		return schedule.Local{}, nop, nil
@@ -232,10 +251,61 @@ func newBackend(spec, cachePath string) (schedule.Backend, func() error, error) 
 			return nil, nil, err
 		}
 		return schedule.NewCached(schedule.Local{}, store), store.Close, nil
+	case strings.Contains(spec, ","):
+		var children []schedule.Backend
+		for _, url := range strings.Split(spec, ",") {
+			if url = strings.TrimSpace(url); url == "" {
+				continue
+			}
+			c, err := newClient(url)
+			if err != nil {
+				return nil, nil, err
+			}
+			children = append(children, c)
+		}
+		shard, err := schedule.NewShard(children...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return shard, nop, nil
 	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
-		return service.NewClient(spec, nil), nop, nil
+		c, err := newClient(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, nop, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown backend %q (want local, cached or an http:// URL)", spec)
+		return nil, nil, fmt.Errorf("unknown backend %q (want local, cached or http:// URLs)", spec)
+	}
+}
+
+// gridProgress reports completed/total and rows/sec on w, updated in place
+// (carriage return) at most a few times a second, with a final newline.
+type gridProgress struct {
+	w     io.Writer
+	total int
+	done  int
+	start time.Time
+	last  time.Time
+}
+
+func newGridProgress(w io.Writer, total int) *gridProgress {
+	now := time.Now()
+	return &gridProgress{w: w, total: total, start: now, last: now}
+}
+
+// row records one completed row; callers serialize it (the OnRow contract).
+func (p *gridProgress) row() {
+	p.done++
+	now := time.Now()
+	if p.done != p.total && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	rate := float64(p.done) / (now.Sub(p.start).Seconds() + 1e-9)
+	fmt.Fprintf(p.w, "\rgrid: %d/%d rows (%.0f rows/s)", p.done, p.total, rate)
+	if p.done == p.total {
+		fmt.Fprintln(p.w)
 	}
 }
 
@@ -245,7 +315,7 @@ func newBackend(spec, cachePath string) (schedule.Backend, func() error, error) 
 // memory sweep. Rows stream to w as they complete; with csvDir set they are
 // also exported as grid.csv and grid.jsonl (with noTime, the seconds column
 // is zeroed so the exports are byte-identical across backends and reruns).
-func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, csvDir, backendSpec, cachePath string, noTime bool) error {
+func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, csvDir, backendSpec, cachePath string, retries int, progress, noTime bool) error {
 	gridInsts := make([]schedule.Instance, len(insts))
 	for i, inst := range insts {
 		gridInsts[i] = schedule.Instance{Name: inst.Name, Tree: inst.Tree}
@@ -272,7 +342,7 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 		return err
 	}
 	jobs = append(jobs, polJobs...)
-	backend, cleanup, err := newBackend(backendSpec, cachePath)
+	backend, cleanup, err := newBackend(backendSpec, cachePath, retries)
 	if err != nil {
 		return err
 	}
@@ -280,16 +350,28 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 	fmt.Fprintf(w, "Grid — %d jobs (%d instances × {%s} + policy sweep) on backend %s, streamed as completed\n",
 		len(jobs), len(insts), strings.Join(algNames, ","), backend.Capabilities().Name)
 	fmt.Fprintf(w, "  %-24s %-12s %10s %12s %12s\n", "instance", "algorithm", "budget", "memory", "io")
+	var prog *gridProgress
+	if progress {
+		prog = newGridProgress(os.Stderr, len(jobs))
+	}
 	rows, err := backend.Run(context.Background(), jobs, schedule.BatchOptions{
 		Workers: workers,
 		OnRow: func(r schedule.Row) {
 			fmt.Fprintf(w, "  %-24s %-12s %10d %12d %12d\n", r.Instance, r.Algorithm, r.Budget, r.Memory, r.IO)
+			if prog != nil {
+				prog.row()
+			}
 		},
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "  %d rows\n", len(rows))
+	if s, ok := backend.(*schedule.Shard); ok {
+		if n := s.Resubmissions(); n > 0 {
+			fmt.Fprintf(w, "  shard: %d chunk resubmissions\n", n)
+		}
+	}
 	if c, ok := backend.(*schedule.Cached); ok {
 		hits, misses := c.Counters()
 		fmt.Fprintf(w, "  cache: %d hits, %d misses\n", hits, misses)

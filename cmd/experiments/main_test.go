@@ -1,10 +1,13 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/service"
@@ -119,5 +122,103 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "grid", "-scale", "small", "-backend", "bogus"}, &sb); err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+// A comma-separated -backend URL list shards the grid across the servers;
+// the exports must stay byte-identical to local, a mid-grid server failure
+// included (the shard resubmits those chunks to the other server).
+func TestGridShardedBackendByteIdentical(t *testing.T) {
+	srv1 := httptest.NewServer(service.NewServer(nil, 0).Handler())
+	defer srv1.Close()
+	flaky := &failFirstHandler{inner: service.NewServer(nil, 0).Handler()}
+	flaky.failN.Store(1)
+	srv2 := httptest.NewServer(flaky)
+	defer srv2.Close()
+	dir := t.TempDir()
+
+	gridFiles := func(name string, backendArgs ...string) (csv, jsonl string) {
+		t.Helper()
+		sub := filepath.Join(dir, name)
+		var sb strings.Builder
+		args := append([]string{"-exp", "grid", "-scale", "small", "-notime", "-csv", sub}, backendArgs...)
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := os.ReadFile(filepath.Join(sub, "grid.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := os.ReadFile(filepath.Join(sub, "grid.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(c), string(j)
+	}
+
+	localCSV, localJSONL := gridFiles("local", "-backend", "local")
+	shardCSV, shardJSONL := gridFiles("shard", "-backend", srv1.URL+","+srv2.URL, "-retries", "0")
+	if shardCSV != localCSV {
+		t.Fatal("sharded grid.csv differs from local")
+	}
+	if shardJSONL != localJSONL {
+		t.Fatal("sharded grid.jsonl differs from local")
+	}
+	if flaky.batches.Load() == 0 {
+		t.Fatal("second server never dispatched to")
+	}
+
+	// Malformed lists are rejected.
+	var sb strings.Builder
+	if err := run([]string{"-exp", "grid", "-scale", "small", "-backend", srv1.URL + ",bogus"}, &sb); err == nil {
+		t.Fatal("non-URL shard member accepted")
+	}
+}
+
+// failFirstHandler 502s its first failN /v1/batch calls, then serves.
+type failFirstHandler struct {
+	inner   http.Handler
+	failN   atomic.Int64
+	batches atomic.Int64
+}
+
+func (h *failFirstHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/batch" {
+		h.batches.Add(1)
+		if h.failN.Add(-1) >= 0 {
+			http.Error(w, "down", http.StatusBadGateway)
+			return
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// -progress reports completed/total rows on stderr without disturbing the
+// grid output or exports.
+func TestGridProgress(t *testing.T) {
+	old := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(pr)
+		done <- string(b)
+	}()
+	var sb strings.Builder
+	runErr := run([]string{"-exp", "grid", "-scale", "small", "-progress"}, &sb)
+	pw.Close()
+	os.Stderr = old
+	stderr := <-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.Contains(stderr, "rows/s)") || !strings.Contains(stderr, "grid: ") {
+		t.Fatalf("progress output missing from stderr: %q", stderr)
+	}
+	if !strings.Contains(sb.String(), " rows") {
+		t.Fatalf("grid output disturbed:\n%s", sb.String())
 	}
 }

@@ -6,12 +6,15 @@
 //
 // With -cache the server evaluates through a content-addressed result
 // cache persisted as a JSONL store, so repeated grids over the same
-// instances are answered without re-running the algorithms.
+// instances are answered without re-running the algorithms. -cache-max
+// bounds the store: beyond that many rows the least-recently-used entries
+// are evicted (and the file compacts down to the bound when the server next
+// loads it), so a long-lived server's store does not grow without bound.
 //
 // Usage:
 //
 //	scheduled -addr 127.0.0.1:8080
-//	scheduled -addr :9090 -workers 8 -cache rows.jsonl
+//	scheduled -addr :9090 -workers 8 -cache rows.jsonl -cache-max 100000
 //	scheduled -list
 package main
 
@@ -49,6 +52,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", 0, "per-batch worker-pool bound (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "JSONL row-store path; evaluate through a content-addressed result cache")
+	cacheMax := fs.Int("cache-max", 0, "row-store entry bound: LRU-evict beyond this many rows (0 = unbounded)")
 	list := fs.Bool("list", false, "list the registered algorithms and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,8 +69,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	var backend schedule.Backend = schedule.Local{}
 	var cached *schedule.Cached
+	var store *schedule.JSONLStore
 	if *cache != "" {
-		store, err := schedule.OpenJSONLStore(*cache)
+		var err error
+		store, err = schedule.OpenJSONLStoreWith(*cache, schedule.StoreOptions{MaxEntries: *cacheMax})
 		if err != nil {
 			return err
 		}
@@ -99,7 +105,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if cached != nil {
 		hits, misses := cached.Counters()
-		fmt.Fprintf(w, "scheduled: served %d cache hits, %d misses\n", hits, misses)
+		fmt.Fprintf(w, "scheduled: served %d cache hits, %d misses, %d evictions\n", hits, misses, store.Evictions())
 	}
 	return nil
 }

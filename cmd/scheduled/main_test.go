@@ -143,3 +143,39 @@ func TestListAndErrors(t *testing.T) {
 		t.Fatal("bad address accepted")
 	}
 }
+
+// -cache-max bounds the row store: the LRU overflow is evicted, reported at
+// shutdown, and the store file compacts to the bound on the next load.
+func TestServeWithBoundedCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "rows.jsonl")
+	base, shutdown := startScheduled(t, "-cache", cache, "-cache-max", "1")
+	client := service.NewClient(base, nil)
+	h2, err := tree.NestedHarpoon(2, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "h2", Tree: h2, Algorithm: "minmem"},
+		{Instance: "h3", Tree: h3, Algorithm: "minmem"},
+	}
+	if _, err := client.Run(context.Background(), jobs, schedule.BatchOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := shutdown()
+	if !strings.Contains(out, "1 evictions") {
+		t.Fatalf("shutdown did not report the eviction:\n%s", out)
+	}
+	// The store file compacts to the bound when reopened.
+	store, err := schedule.OpenJSONLStoreWith(cache, schedule.StoreOptions{MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 1 {
+		t.Fatalf("bounded store reopened with %d rows, want 1", store.Len())
+	}
+}

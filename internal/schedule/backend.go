@@ -23,18 +23,28 @@ type Capabilities struct {
 	Cached bool
 }
 
-// Backend evaluates a batch of jobs and returns one row per job, in job
-// order. Implementations must be deterministic modulo the Seconds column:
-// given the same jobs, every backend returns bit-identical rows. The first
-// failing job fails the batch.
+// Backend evaluates jobs and produces one row per job, in job order.
+// Implementations must be deterministic modulo the Seconds column: given
+// the same jobs, every backend returns bit-identical rows.
 //
-// Three implementations ship with the repository: Local (the in-process
+// Run is the materialized form: the batch is a slice, the rows come back as
+// a slice, and the first failing job fails the batch. Stream is the same
+// contract over iterators — jobs are pulled from a JobSource as capacity
+// frees up and rows are pushed to a RowSink in job order — so a grid larger
+// than memory can flow through with peak resident state bounded by
+// StreamOptions.ChunkSize × InFlight. Either method may be the native one:
+// batch-first backends get Stream via StreamChunked, stream-first backends
+// (Shard) get Run via RunViaStream, mirroring how RunBatch wraps Local.
+//
+// Four implementations ship with the repository: Local (the in-process
 // worker-pool evaluator), Cached (a content-addressed decorator over any
-// backend, see NewCached) and the HTTP client of internal/service speaking
-// to a cmd/scheduled evaluation server.
+// backend, see NewCached), Shard (a fan-out over several child backends,
+// see NewShard) and the HTTP client of internal/service speaking to a
+// cmd/scheduled evaluation server.
 type Backend interface {
 	Capabilities() Capabilities
 	Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error)
+	Stream(ctx context.Context, src JobSource, sink RowSink, opt StreamOptions) error
 }
 
 // Local is the in-process backend: it evaluates every job concurrently on
@@ -73,4 +83,11 @@ func (Local) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, erro
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Stream implements Backend by chunking the source through Run: chunks
+// evaluate concurrently (each with its own worker pool) and merge into the
+// sink in job order.
+func (l Local) Stream(ctx context.Context, src JobSource, sink RowSink, opt StreamOptions) error {
+	return StreamChunked(ctx, l.Run, src, sink, opt)
 }

@@ -2,8 +2,6 @@ package schedule
 
 import (
 	"context"
-	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -152,34 +150,38 @@ func MinIOGrid(ctx context.Context, insts []Instance, orderBy string, algorithms
 	return jobs, nil
 }
 
-// WriteRowsCSV streams rows as CSV with a header line.
-func WriteRowsCSV(w io.Writer, rows []Row) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"instance", "algorithm", "kind", "budget", "memory", "io", "writes", "seconds"}); err != nil {
-		return err
+// rowCSVHeader is the CSV column set; Row's JSON field order matches it.
+var rowCSVHeader = []string{"instance", "algorithm", "kind", "budget", "memory", "io", "writes", "seconds"}
+
+func rowCSVRecord(r Row) []string {
+	return []string{
+		r.Instance, r.Algorithm, r.Kind,
+		strconv.FormatInt(r.Budget, 10),
+		strconv.FormatInt(r.Memory, 10),
+		strconv.FormatInt(r.IO, 10),
+		strconv.Itoa(r.Writes),
+		strconv.FormatFloat(r.Seconds, 'g', -1, 64),
 	}
+}
+
+// WriteRowsCSV writes rows as CSV with a header line (the slice form of
+// NewCSVSink).
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	sink := NewCSVSink(w)
 	for _, r := range rows {
-		rec := []string{
-			r.Instance, r.Algorithm, r.Kind,
-			strconv.FormatInt(r.Budget, 10),
-			strconv.FormatInt(r.Memory, 10),
-			strconv.FormatInt(r.IO, 10),
-			strconv.Itoa(r.Writes),
-			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := sink.Push(r); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return sink.Flush()
 }
 
-// WriteRowsJSON streams rows as JSON Lines (one object per row).
+// WriteRowsJSON writes rows as JSON Lines, one object per row (the slice
+// form of NewJSONLSink).
 func WriteRowsJSON(w io.Writer, rows []Row) error {
-	enc := json.NewEncoder(w)
+	sink := NewJSONLSink(w)
 	for _, r := range rows {
-		if err := enc.Encode(r); err != nil {
+		if err := sink.Push(r); err != nil {
 			return err
 		}
 	}

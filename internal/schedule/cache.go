@@ -3,6 +3,7 @@ package schedule
 import (
 	"bufio"
 	"bytes"
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -62,37 +63,107 @@ type Store interface {
 	Put(key string, row Row) error
 }
 
-// MemStore is an in-memory Store. The zero value is not usable; construct
-// with NewMemStore.
-type MemStore struct {
-	mu sync.RWMutex
-	m  map[string]Row
+// StoreOptions configures a row store.
+type StoreOptions struct {
+	// MaxEntries bounds the number of rows held in memory; ≤ 0 means
+	// unbounded. When a Put would exceed the bound, the least-recently-used
+	// entry (Get counts as use) is evicted and the store's eviction counter
+	// advances. The JSONL store additionally compacts its file down to the
+	// bound on load.
+	MaxEntries int
 }
 
-// NewMemStore returns an empty in-memory store.
-func NewMemStore() *MemStore { return &MemStore{m: map[string]Row{}} }
+// lruRows is the shared bounded map behind both stores: a key→row map with
+// a recency list, evicting least-recently-used entries beyond max. Not safe
+// for concurrent use; the stores lock around it.
+type lruRows struct {
+	m       map[string]*list.Element
+	order   *list.List // front = most recently used
+	max     int
+	evicted int64
+}
+
+type lruEntry struct {
+	key string
+	row Row
+}
+
+func newLRURows(max int) *lruRows {
+	return &lruRows{m: map[string]*list.Element{}, order: list.New(), max: max}
+}
+
+func (l *lruRows) get(key string) (Row, bool) {
+	e, ok := l.m[key]
+	if !ok {
+		return Row{}, false
+	}
+	l.order.MoveToFront(e)
+	return e.Value.(*lruEntry).row, true
+}
+
+func (l *lruRows) put(key string, row Row) {
+	if e, ok := l.m[key]; ok {
+		e.Value.(*lruEntry).row = row
+		l.order.MoveToFront(e)
+		return
+	}
+	l.m[key] = l.order.PushFront(&lruEntry{key: key, row: row})
+	l.trim()
+}
+
+// trim evicts least-recently-used entries until the bound holds.
+func (l *lruRows) trim() {
+	for l.max > 0 && len(l.m) > l.max {
+		oldest := l.order.Back()
+		delete(l.m, oldest.Value.(*lruEntry).key)
+		l.order.Remove(oldest)
+		l.evicted++
+	}
+}
+
+// MemStore is an in-memory Store, optionally bounded (StoreOptions). The
+// zero value is not usable; construct with NewMemStore or NewMemStoreWith.
+type MemStore struct {
+	mu  sync.Mutex
+	lru *lruRows
+}
+
+// NewMemStore returns an empty unbounded in-memory store.
+func NewMemStore() *MemStore { return NewMemStoreWith(StoreOptions{}) }
+
+// NewMemStoreWith returns an empty in-memory store with the given options.
+func NewMemStoreWith(opt StoreOptions) *MemStore {
+	return &MemStore{lru: newLRURows(opt.MaxEntries)}
+}
 
 // Get implements Store.
 func (s *MemStore) Get(key string) (Row, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.m[key]
-	return r, ok
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.get(key)
 }
 
 // Put implements Store.
 func (s *MemStore) Put(key string, row Row) error {
 	s.mu.Lock()
-	s.m[key] = row
+	s.lru.put(key, row)
 	s.mu.Unlock()
 	return nil
 }
 
 // Len returns the number of cached rows.
 func (s *MemStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lru.m)
+}
+
+// Evictions returns the number of rows evicted by the MaxEntries bound, the
+// companion of the Cached backend's hit/miss counters.
+func (s *MemStore) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.evicted
 }
 
 // jsonlEntry is one line of the on-disk store.
@@ -102,29 +173,41 @@ type jsonlEntry struct {
 }
 
 // JSONLStore is a Store persisted as an append-only JSON Lines file: one
-// {"key": …, "row": …} object per line. Construct with OpenJSONLStore.
+// {"key": …, "row": …} object per line, optionally bounded (StoreOptions).
+// Construct with OpenJSONLStore or OpenJSONLStoreWith.
 type JSONLStore struct {
 	mu     sync.Mutex
-	m      map[string]Row
+	lru    *lruRows
+	path   string
 	f      *os.File
 	w      *bufio.Writer
 	closed bool
 }
 
-// OpenJSONLStore opens (creating if absent) the store at path and loads
+// OpenJSONLStore opens (creating if absent) the unbounded store at path;
+// see OpenJSONLStoreWith.
+func OpenJSONLStore(path string) (*JSONLStore, error) {
+	return OpenJSONLStoreWith(path, StoreOptions{})
+}
+
+// OpenJSONLStoreWith opens (creating if absent) the store at path and loads
 // every entry into memory. Corrupt content — a truncated tail after a
 // crash, or bytes that are not store entries at all — is not fatal: the
 // surviving entries are kept, the damaged rows read as misses, and the
 // file is compacted (rewritten atomically from the surviving entries) so
 // the damage does not glue onto future appends or resurface on the next
-// open. The whole file is held in memory either way, which is fine for a
-// result cache of small rows.
-func OpenJSONLStore(path string) (*JSONLStore, error) {
+// open. With MaxEntries set, a file over budget is likewise trimmed to the
+// newest MaxEntries rows and compacted on load, so the on-disk store no
+// longer grows without bound across runs; at run time evictions drop
+// entries from memory only (the file compacts on Close, or at the next
+// load after a crash), and Evictions counts them.
+func OpenJSONLStoreWith(path string, opt StoreOptions) (*JSONLStore, error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("schedule: read row store: %w", err)
 	}
-	m := map[string]Row{}
+	lru := newLRURows(opt.MaxEntries)
+	loaded := 0
 	damaged := len(data) > 0 && data[len(data)-1] != '\n'
 	for len(data) > 0 {
 		line := data
@@ -138,10 +221,19 @@ func OpenJSONLStore(path string) (*JSONLStore, error) {
 			damaged = true
 			continue
 		}
-		m[e.Key] = e.Row
+		// File order approximates recency: appends and the recency-ordered
+		// rewrite on Close both put newer (or more recently used) rows
+		// later, so loading front-ward reconstructs it and the MaxEntries
+		// trim inside put drops the stalest rows first.
+		lru.put(e.Key, e.Row)
+		loaded++
 	}
-	if damaged {
-		if err := rewriteJSONL(path, m); err != nil {
+	// Load-time trimming is compaction, not eviction: the counter reports
+	// what this process dropped, starting from zero.
+	compacted := lru.evicted > 0
+	lru.evicted = 0
+	if damaged || compacted || loaded > len(lru.m) {
+		if err := rewriteJSONL(path, lru); err != nil {
 			return nil, err
 		}
 	}
@@ -149,19 +241,21 @@ func OpenJSONLStore(path string) (*JSONLStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("schedule: open row store: %w", err)
 	}
-	return &JSONLStore{m: m, f: f, w: bufio.NewWriter(f)}, nil
+	return &JSONLStore{lru: lru, path: path, f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// rewriteJSONL atomically replaces the store file with the given entries.
-func rewriteJSONL(path string, m map[string]Row) error {
+// rewriteJSONL atomically replaces the store file with the surviving
+// entries, oldest first, so a reload sees the same recency order.
+func rewriteJSONL(path string, lru *lruRows) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("schedule: compact row store: %w", err)
 	}
 	enc := json.NewEncoder(f)
-	for key, row := range m {
-		if err := enc.Encode(jsonlEntry{Key: key, Row: row}); err != nil {
+	for e := lru.order.Back(); e != nil; e = e.Prev() {
+		entry := e.Value.(*lruEntry)
+		if err := enc.Encode(jsonlEntry{Key: entry.key, Row: entry.row}); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return fmt.Errorf("schedule: compact row store: %w", err)
@@ -182,12 +276,12 @@ func rewriteJSONL(path string, m map[string]Row) error {
 func (s *JSONLStore) Get(key string) (Row, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.m[key]
-	return r, ok
+	return s.lru.get(key)
 }
 
-// Put implements Store: the entry is recorded in memory and appended to the
-// file (flushed on Close).
+// Put implements Store: the entry is recorded in memory (evicting the
+// least-recently-used row when over MaxEntries) and appended to the file
+// (flushed and, when bounded, compacted down to the bound on Close).
 func (s *JSONLStore) Put(key string, row Row) error {
 	b, err := json.Marshal(jsonlEntry{Key: key, Row: row})
 	if err != nil {
@@ -195,21 +289,33 @@ func (s *JSONLStore) Put(key string, row Row) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.m[key] = row
+	s.lru.put(key, row)
 	if _, err := s.w.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("schedule: append row store: %w", err)
 	}
 	return nil
 }
 
-// Len returns the number of cached rows.
+// Len returns the number of cached rows resident in memory.
 func (s *JSONLStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.m)
+	return len(s.lru.m)
 }
 
-// Close flushes pending appends and closes the file. Closing an already
+// Evictions returns the number of rows evicted by the MaxEntries bound
+// since the store was opened, the companion of the Cached backend's
+// hit/miss counters.
+func (s *JSONLStore) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.evicted
+}
+
+// Close flushes pending appends and closes the file. A bounded store
+// compacts on the way out — the file is rewritten in recency order, so the
+// next load's MaxEntries trim drops genuinely least-recently-used rows
+// (Get-bumps included) rather than oldest-inserted ones. Closing an already
 // closed store is a no-op, so Close can be both deferred and error-checked.
 func (s *JSONLStore) Close() error {
 	s.mu.Lock()
@@ -222,7 +328,13 @@ func (s *JSONLStore) Close() error {
 		s.f.Close()
 		return err
 	}
-	return s.f.Close()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if s.lru.max > 0 {
+		return rewriteJSONL(s.path, s.lru)
+	}
+	return nil
 }
 
 // Cached decorates a Backend with a content-addressed result cache: jobs
@@ -335,4 +447,14 @@ func (c *Cached) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, 
 		rows[i] = missRows[k]
 	}
 	return rows, nil
+}
+
+// Stream implements Backend by chunking the source through Run: within each
+// chunk the hits are answered from the store without touching the inner
+// backend — a fully warm chunk costs zero algorithm runs and its rows flow
+// straight to the sink — while the misses batch up and run on the inner
+// backend as one sub-batch. Chunks evaluate concurrently and merge into the
+// sink in job order.
+func (c *Cached) Stream(ctx context.Context, src JobSource, sink RowSink, opt StreamOptions) error {
+	return StreamChunked(ctx, c.Run, src, sink, opt)
 }

@@ -2,8 +2,10 @@ package schedule_test
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -25,6 +27,10 @@ func (b *countingBackend) Capabilities() schedule.Capabilities {
 func (b *countingBackend) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
 	b.jobs.Add(int64(len(jobs)))
 	return b.inner.Run(ctx, jobs, opt)
+}
+
+func (b *countingBackend) Stream(ctx context.Context, src schedule.JobSource, sink schedule.RowSink, opt schedule.StreamOptions) error {
+	return schedule.StreamChunked(ctx, b.Run, src, sink, opt)
 }
 
 func gridJobs(t *testing.T) []schedule.Job {
@@ -321,5 +327,181 @@ func TestCachedBanksRowsOnFailure(t *testing.T) {
 	}
 	if got := counting.jobs.Load(); got != 0 {
 		t.Fatalf("rerun after partial failure re-ran %d jobs, want 0 (rows were banked)", got)
+	}
+}
+
+// A bounded MemStore evicts least-recently-used rows (Get counts as use)
+// and counts the evictions.
+func TestMemStoreLRU(t *testing.T) {
+	s := schedule.NewMemStoreWith(schedule.StoreOptions{MaxEntries: 2})
+	row := func(n int) schedule.Row { return schedule.Row{Instance: "r", Memory: int64(n)} }
+	s.Put("a", row(1))
+	s.Put("b", row(2))
+	if _, ok := s.Get("a"); !ok { // bump a: b is now the LRU entry
+		t.Fatal("a missing before eviction")
+	}
+	s.Put("c", row(3))
+	if s.Len() != 2 {
+		t.Fatalf("bounded store holds %d rows, want 2", s.Len())
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("new entry c missing")
+	}
+	if ev := s.Evictions(); ev != 1 {
+		t.Fatalf("eviction counter %d, want 1", ev)
+	}
+	// Overwriting an existing key is not an eviction.
+	s.Put("c", row(4))
+	if got, _ := s.Get("c"); got.Memory != 4 {
+		t.Fatalf("overwrite lost: %+v", got)
+	}
+	if ev := s.Evictions(); ev != 1 {
+		t.Fatalf("eviction counter %d after overwrite, want 1", ev)
+	}
+	// The unbounded store never evicts.
+	u := schedule.NewMemStore()
+	for i := 0; i < 100; i++ {
+		u.Put(string(rune('a'+i)), row(i))
+	}
+	if u.Len() != 100 || u.Evictions() != 0 {
+		t.Fatalf("unbounded store len=%d evictions=%d", u.Len(), u.Evictions())
+	}
+}
+
+// A bounded JSONL store evicts at run time and compacts its file down to
+// the bound on load, so the on-disk store stops growing without bound.
+func TestJSONLStoreBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+	const max = 3
+	s, err := schedule.OpenJSONLStoreWith(path, schedule.StoreOptions{MaxEntries: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), schedule.Row{Instance: "r", Memory: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != max {
+		t.Fatalf("bounded store holds %d rows, want %d", s.Len(), max)
+	}
+	if ev := s.Evictions(); ev != 10-max {
+		t.Fatalf("eviction counter %d, want %d", ev, 10-max)
+	}
+	for i := 0; i < 10-max; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("old entry k%d survived", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing a bounded store compacts the append-only file down to the
+	// bound, in recency order.
+	if data, err := os.ReadFile(path); err != nil || len(strings.Split(strings.TrimSpace(string(data)), "\n")) != max {
+		t.Fatalf("file after bounded close: %v, %q", err, data)
+	}
+	s, err = schedule.OpenJSONLStoreWith(path, schedule.StoreOptions{MaxEntries: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != max || s.Evictions() != 0 {
+		t.Fatalf("reopened store len=%d evictions=%d, want %d/0", s.Len(), s.Evictions(), max)
+	}
+	for i := 10 - max; i < 10; i++ {
+		if got, ok := s.Get(fmt.Sprintf("k%d", i)); !ok || got.Memory != int64(i) {
+			t.Fatalf("newest entry k%d lost across compaction (%+v, %v)", i, got, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != max {
+		t.Fatalf("compacted file holds %d lines, want %d", len(lines), max)
+	}
+	// An unbounded reopen of the compacted file sees exactly the survivors.
+	u, err := schedule.OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if u.Len() != max {
+		t.Fatalf("unbounded reopen holds %d rows, want %d", u.Len(), max)
+	}
+}
+
+// The cached backend stays correct over a store too small for the grid:
+// every row is still bit-identical, evictions just turn into extra misses
+// on the rerun.
+func TestCachedOverBoundedStore(t *testing.T) {
+	jobs := gridJobs(t)
+	store := schedule.NewMemStoreWith(schedule.StoreOptions{MaxEntries: len(jobs) / 4})
+	cached := schedule.NewCached(schedule.Local{}, store)
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cached.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, want, cold, "cold over bounded store")
+	warm, err := cached.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, want, warm, "warm over bounded store")
+	if store.Evictions() == 0 {
+		t.Fatal("undersized store never evicted")
+	}
+	hits, misses := cached.Counters()
+	if hits == 0 || misses <= int64(len(jobs)) {
+		t.Fatalf("counters hits=%d misses=%d: rerun of an undersized store should mix hits and extra misses", hits, misses)
+	}
+}
+
+// Recency survives a bounded close/reopen: Get-bumps are persisted by the
+// compacting Close, so the reload evicts the genuinely least-recently-used
+// row, never resurrecting an evicted one or dropping a hot one.
+func TestJSONLStoreRecencyAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+	opt := schedule.StoreOptions{MaxEntries: 2}
+	s, err := schedule.OpenJSONLStoreWith(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(n int) schedule.Row { return schedule.Row{Instance: "r", Memory: int64(n)} }
+	s.Put("a", row(1))
+	s.Put("b", row(2))
+	if _, ok := s.Get("a"); !ok { // bump a: b becomes the LRU entry
+		t.Fatal("a missing")
+	}
+	s.Put("c", row(3)) // evicts b
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = schedule.OpenJSONLStoreWith(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently used row a lost across reopen")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("newest row c lost across reopen")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("evicted row b resurrected by reopen")
 	}
 }

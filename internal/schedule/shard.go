@@ -1,0 +1,100 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Shard fans one job stream out across several child backends — typically
+// service.Client remotes speaking to distinct scheduled servers. The stream
+// is cut into chunks (StreamOptions.ChunkSize); each chunk is dispatched
+// round-robin to a child with at most StreamOptions.InFlight chunks in
+// flight (default 2 × children), and the chunk results merge into the sink
+// in job order, so a sharded grid is bit-identical to a Local run up to the
+// Seconds column.
+//
+// A chunk whose child fails is resubmitted to the next child, trying each
+// child at most once; only when every child has failed the chunk does the
+// stream fail. Transient child failures (a server restarting, a dropped
+// connection) therefore cost a resubmission, not the batch — deterministic
+// job errors still fail after one round, since every child rejects them the
+// same way. Construct with NewShard.
+type Shard struct {
+	children  []Backend
+	rr        atomic.Int64
+	resubmits atomic.Int64
+}
+
+// NewShard builds a shard over the child backends.
+func NewShard(children ...Backend) (*Shard, error) {
+	if len(children) == 0 {
+		return nil, errors.New("schedule: shard needs at least one child backend")
+	}
+	for i, c := range children {
+		if c == nil {
+			return nil, fmt.Errorf("schedule: shard child %d is nil", i)
+		}
+	}
+	return &Shard{children: append([]Backend(nil), children...)}, nil
+}
+
+// Capabilities implements Backend: the shard is remote or cached when any
+// child is.
+func (s *Shard) Capabilities() Capabilities {
+	var names []string
+	caps := Capabilities{}
+	for _, c := range s.children {
+		cc := c.Capabilities()
+		names = append(names, cc.Name)
+		caps.Remote = caps.Remote || cc.Remote
+		caps.Cached = caps.Cached || cc.Cached
+	}
+	caps.Name = "shard(" + strings.Join(names, ",") + ")"
+	return caps
+}
+
+// Resubmissions returns the cumulative number of chunk retries: dispatches
+// beyond the first attempt, across all Stream and Run calls.
+func (s *Shard) Resubmissions() int64 { return s.resubmits.Load() }
+
+// Stream implements Backend: chunks fan out across the children with
+// bounded in-flight, failed chunks are resubmitted to other children, and
+// the order-preserving merge keeps the sink bit-identical to a Local run.
+func (s *Shard) Stream(ctx context.Context, src JobSource, sink RowSink, opt StreamOptions) error {
+	chunkSize, inFlight := opt.chunking(2 * len(s.children))
+	return streamChunks(ctx, src, sink, chunkSize, inFlight, func(ctx context.Context, jobs []Job) ([]Row, error) {
+		return s.runChunk(ctx, jobs, opt.Workers)
+	})
+}
+
+// Run implements Backend as the shim over Stream (RunViaStream): the jobs
+// slice streams through the sharded fan-out and the rows collect in job
+// order.
+func (s *Shard) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error) {
+	return RunViaStream(ctx, s, jobs, opt)
+}
+
+// runChunk evaluates one chunk, trying each child at most once, starting at
+// the round-robin cursor so concurrent chunks spread across the children.
+func (s *Shard) runChunk(ctx context.Context, jobs []Job, workers int) ([]Row, error) {
+	start := int(s.rr.Add(1)-1) % len(s.children)
+	var errs []error
+	for k := 0; k < len(s.children); k++ {
+		if k > 0 {
+			s.resubmits.Add(1)
+		}
+		child := s.children[(start+k)%len(s.children)]
+		rows, err := child.Run(ctx, jobs, BatchOptions{Workers: workers})
+		if err == nil {
+			return rows, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", child.Capabilities().Name, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("schedule: shard chunk of %d jobs failed on all children: %w", len(jobs), errors.Join(errs...))
+}

@@ -1,0 +1,135 @@
+package schedule_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// flakyBackend fails its first failN Run calls, then delegates — the
+// in-process stand-in for a scheduled server that drops out mid-grid.
+type flakyBackend struct {
+	inner schedule.Backend
+	failN atomic.Int64
+	runs  atomic.Int64
+}
+
+func (b *flakyBackend) Capabilities() schedule.Capabilities {
+	c := b.inner.Capabilities()
+	c.Name = "flaky(" + c.Name + ")"
+	return c
+}
+
+func (b *flakyBackend) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
+	b.runs.Add(1)
+	if b.failN.Add(-1) >= 0 {
+		return nil, errors.New("flaky: connection reset")
+	}
+	return b.inner.Run(ctx, jobs, opt)
+}
+
+func (b *flakyBackend) Stream(ctx context.Context, src schedule.JobSource, sink schedule.RowSink, opt schedule.StreamOptions) error {
+	return schedule.StreamChunked(ctx, b.Run, src, sink, opt)
+}
+
+func TestNewShardRejects(t *testing.T) {
+	if _, err := schedule.NewShard(); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+	if _, err := schedule.NewShard(schedule.Local{}, nil); err == nil {
+		t.Fatal("nil child accepted")
+	}
+}
+
+// A shard over healthy children returns the rows of a Local run
+// bit-identically (Seconds aside), via Run and via Stream.
+func TestShardMatchesLocal(t *testing.T) {
+	jobs := gridJobs(t)
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := schedule.NewShard(schedule.Local{}, schedule.Local{}, schedule.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps := shard.Capabilities(); !strings.HasPrefix(caps.Name, "shard(") {
+		t.Fatalf("capabilities %+v", caps)
+	}
+	got, err := shard.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, want, got, "shard run vs local")
+
+	var sank schedule.Collector
+	if err := shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: 3}); err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, want, sank.Rows(), "shard stream vs local")
+	if n := shard.Resubmissions(); n != 0 {
+		t.Fatalf("healthy shard recorded %d resubmissions", n)
+	}
+}
+
+// A child that fails mid-grid costs resubmissions, not the batch: the
+// failed chunks land on the other child and the merged rows stay
+// bit-identical to a Local run.
+func TestShardResubmitsFailedChunks(t *testing.T) {
+	jobs := gridJobs(t)
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyBackend{inner: schedule.Local{}}
+	flaky.failN.Store(3) // drops its first three chunks, then recovers
+	shard, err := schedule.NewShard(flaky, schedule.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sank schedule.Collector
+	if err := shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, want, sank.Rows(), "shard with flaky child vs local")
+	if n := shard.Resubmissions(); n < 3 {
+		t.Fatalf("expected ≥ 3 chunk resubmissions, counted %d", n)
+	}
+	if flaky.runs.Load() == 0 {
+		t.Fatal("flaky child never dispatched to")
+	}
+}
+
+// Only when every child fails a chunk does the stream fail, and the error
+// names each child's failure.
+func TestShardFailsWhenAllChildrenFail(t *testing.T) {
+	jobs := gridJobs(t)[:4]
+	dead1, dead2 := &flakyBackend{inner: schedule.Local{}}, &flakyBackend{inner: schedule.Local{}}
+	dead1.failN.Store(1 << 30)
+	dead2.failN.Store(1 << 30)
+	shard, err := schedule.NewShard(dead1, dead2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = shard.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "failed on all children") {
+		t.Fatalf("all-dead shard: got %v", err)
+	}
+
+	// A deterministic job error also fails — after one round of children.
+	bad := []schedule.Job{{Instance: "x", Tree: jobs[0].Tree, Algorithm: "no-such-solver"}}
+	healthy, err := schedule.NewShard(schedule.Local{}, schedule.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := healthy.Run(context.Background(), bad, schedule.BatchOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no-such-solver") {
+		t.Fatalf("job error not surfaced: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/schedule"
 	"repro/internal/tree"
@@ -18,10 +19,30 @@ import (
 // Client is the remote evaluation backend: a schedule.Backend that ships
 // job batches to a service server over HTTP and reassembles the streamed
 // rows in job order. Construct with NewClient.
+//
+// Batch submissions can be retried: with Retries > 0, transient failures —
+// connection errors, 5xx/429 statuses, a response stream cut off before its
+// done line — are resubmitted after an exponential backoff, while
+// deterministic failures (4xx rejections, a job the server reports as
+// failed) are not. Rows already streamed to the BatchOptions callbacks are
+// not re-announced on a retry: the attempt replays the whole batch (the
+// wire protocol is idempotent), but only rows for indices not yet seen fire
+// the callbacks, so callers observe each row exactly once.
 type Client struct {
 	base string
 	http *http.Client
+
+	// Retries is the number of times a failed batch submission is retried
+	// (0 = fail on the first error).
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent one; ≤ 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
+
+// DefaultRetryBackoff is the initial retry delay when Client.RetryBackoff
+// is unset.
+const DefaultRetryBackoff = 100 * time.Millisecond
 
 // NewClient builds a client for the server at base (e.g.
 // "http://127.0.0.1:8080"; a trailing slash is tolerated). A nil
@@ -60,10 +81,19 @@ func (c *Client) Algorithms(ctx context.Context) ([]AlgorithmInfo, error) {
 	return infos, nil
 }
 
+// transientError marks a failure worth resubmitting: the server may simply
+// have been unreachable or restarting, and the batch protocol is
+// idempotent.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
 // Run implements schedule.Backend: it serializes each distinct tree once
 // (in .tree wire form), posts the batch, streams rows back and returns them
 // in job order. Rows are exactly what the server computed — the remote grid
-// is bit-identical to a local run up to the Seconds column.
+// is bit-identical to a local run up to the Seconds column. Transient
+// submission failures are retried per the Retries/RetryBackoff fields.
 func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
 	req, err := encodeBatch(jobs, opt.Workers)
 	if err != nil {
@@ -73,44 +103,79 @@ func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.Batc
 	if err != nil {
 		return nil, err
 	}
+	// rows/got persist across attempts: a retry replays the whole batch,
+	// but rows already received keep their first-seen values and do not
+	// re-fire the callbacks.
+	rows := make([]schedule.Row, len(jobs))
+	got := make([]bool, len(jobs))
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.runAttempt(ctx, body, jobs, opt, rows, got)
+		if err == nil {
+			return rows, nil
+		}
+		if _, transient := err.(transientError); attempt >= c.Retries || !transient || ctx.Err() != nil {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// runAttempt posts the encoded batch once, filling rows/got for every index
+// streamed back. A batch is complete when the done line arrives and every
+// index was received (this attempt or an earlier one).
+func (c *Client) runAttempt(ctx context.Context, body []byte, jobs []schedule.Job, opt schedule.BatchOptions, rows []schedule.Row, got []bool) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(hreq)
 	if err != nil {
-		return nil, err
+		return transientError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError(resp)
+		err := httpError(resp)
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return transientError{err}
+		}
+		return err
 	}
-	rows := make([]schedule.Row, len(jobs))
-	got := make([]bool, len(jobs))
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
 		var line BatchLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("service: bad response line %q: %w", sc.Text(), err)
+			return fmt.Errorf("service: bad response line %q: %w", sc.Text(), err)
 		}
 		switch {
 		case line.Error != "":
-			return nil, fmt.Errorf("service: remote batch failed: %s", line.Error)
+			return fmt.Errorf("service: remote batch failed: %s", line.Error)
 		case line.Done:
 			if line.Count != len(jobs) {
-				return nil, fmt.Errorf("service: server reports %d rows, want %d", line.Count, len(jobs))
+				return fmt.Errorf("service: server reports %d rows, want %d", line.Count, len(jobs))
 			}
 			for i, ok := range got {
 				if !ok {
-					return nil, fmt.Errorf("service: no row received for job %d", i)
+					return fmt.Errorf("service: no row received for job %d", i)
 				}
 			}
-			return rows, nil
+			return nil
 		case line.Row != nil:
 			if line.Index < 0 || line.Index >= len(jobs) {
-				return nil, fmt.Errorf("service: row index %d out of range [0,%d)", line.Index, len(jobs))
+				return fmt.Errorf("service: row index %d out of range [0,%d)", line.Index, len(jobs))
+			}
+			if got[line.Index] {
+				break // replay of a row an earlier attempt delivered
 			}
 			rows[line.Index] = *line.Row
 			got[line.Index] = true
@@ -121,13 +186,22 @@ func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.Batc
 				opt.OnRowIndexed(line.Index, *line.Row)
 			}
 		default:
-			return nil, fmt.Errorf("service: unrecognized response line %q", sc.Text())
+			return fmt.Errorf("service: unrecognized response line %q", sc.Text())
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("service: read response: %w", err)
+		return transientError{fmt.Errorf("service: read response: %w", err)}
 	}
-	return nil, fmt.Errorf("service: response stream truncated (no done line)")
+	return transientError{fmt.Errorf("service: response stream truncated (no done line)")}
+}
+
+// Stream implements schedule.Backend: the job stream is cut into chunks,
+// each chunk travels as one POST /v1/batch call (with per-chunk retry per
+// the Retries field), and the rows merge into the sink in job order. Neither
+// side ever holds more than ChunkSize × InFlight jobs or rows, so a grid
+// larger than either process's memory can flow through the service.
+func (c *Client) Stream(ctx context.Context, src schedule.JobSource, sink schedule.RowSink, opt schedule.StreamOptions) error {
+	return schedule.StreamChunked(ctx, c.Run, src, sink, opt)
 }
 
 // encodeBatch builds the wire request: each distinct *tree.Tree serialized

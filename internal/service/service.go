@@ -80,16 +80,23 @@ const maxBatchBytes = 64 << 20
 type Server struct {
 	backend schedule.Backend
 	workers int
+	// evalSem serializes batch evaluations: the workers bound is per
+	// server, not per request, so concurrent submissions (several clients,
+	// or one client streaming chunks in flight) queue instead of each
+	// spinning up their own worker pool. The wait is context-aware, so a
+	// client that disconnects while queued releases its slot.
+	evalSem chan struct{}
 }
 
 // NewServer builds a server over backend (nil selects schedule.Local) with
 // workers bounding each batch's pool unless the request asks for fewer
-// (≤ 0: GOMAXPROCS).
+// (≤ 0: GOMAXPROCS). The bound is global: batches evaluate one at a time,
+// so concurrent submissions cannot multiply the pool.
 func NewServer(backend schedule.Backend, workers int) *Server {
 	if backend == nil {
 		backend = schedule.Local{}
 	}
-	return &Server{backend: backend, workers: workers}
+	return &Server{backend: backend, workers: workers, evalSem: make(chan struct{}, 1)}
 }
 
 // Handler returns the routed http.Handler for the API.
@@ -157,6 +164,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit the stream while (possibly) queued
+	}
+	select {
+	case s.evalSem <- struct{}{}:
+		defer func() { <-s.evalSem }()
+	case <-r.Context().Done():
+		enc.Encode(BatchLine{Error: r.Context().Err().Error()})
+		return
+	}
 	rows, err := s.backend.Run(r.Context(), jobs, schedule.BatchOptions{
 		Workers: workers,
 		OnRowIndexed: func(i int, row schedule.Row) {

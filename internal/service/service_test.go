@@ -1,13 +1,18 @@
 package service_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -186,5 +191,259 @@ func TestRemoteErrors(t *testing.T) {
 	if _, err := tclient.Run(context.Background(), bad[:0], schedule.BatchOptions{}); err == nil ||
 		!strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("truncated stream: got %v", err)
+	}
+}
+
+// flakyHandler fails the first failN /v1/batch POSTs with the given status
+// (or cuts the stream after a prefix when truncate is set), then serves
+// normally. It counts batch calls.
+type flakyHandler struct {
+	inner    http.Handler
+	failN    atomic.Int64
+	status   int
+	truncate bool
+	batches  atomic.Int64
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/batch" {
+		h.batches.Add(1)
+		if h.failN.Add(-1) >= 0 {
+			if h.truncate {
+				// A committed 200 stream cut off after one genuine row and
+				// before the done line: the client must treat it as
+				// truncated, retry, and not re-announce the row it already
+				// delivered.
+				body, _ := io.ReadAll(r.Body)
+				replay := r.Clone(r.Context())
+				replay.Body = io.NopCloser(bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.inner.ServeHTTP(rec, replay)
+				first, _, _ := strings.Cut(rec.Body.String(), "\n")
+				w.WriteHeader(http.StatusOK)
+				fmt.Fprintln(w, first)
+				return
+			}
+			http.Error(w, "server warming up", h.status)
+			return
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// A client with Retries resubmits past transient failures — 5xx statuses
+// and streams cut off before the done line — and announces every row
+// exactly once across attempts; without Retries the first failure is fatal.
+func TestClientRetries(t *testing.T) {
+	jobs := testJobs(t)
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wrap := range map[string]*flakyHandler{
+		"5xx":      {status: http.StatusServiceUnavailable},
+		"truncate": {truncate: true},
+	} {
+		wrap.inner = service.NewServer(nil, 0).Handler()
+		wrap.failN.Store(2)
+		srv := httptest.NewServer(wrap)
+		client := service.NewClient(srv.URL, srv.Client())
+		client.Retries = 3
+		client.RetryBackoff = time.Millisecond
+		indexed := map[int]int{}
+		rows, err := client.Run(context.Background(), jobs, schedule.BatchOptions{
+			OnRowIndexed: func(i int, r schedule.Row) { indexed[i]++ },
+		})
+		if err != nil {
+			t.Fatalf("%s: retried run failed: %v", name, err)
+		}
+		for i := range want {
+			a, b := want[i], rows[i]
+			a.Seconds, b.Seconds = 0, 0
+			if a != b {
+				t.Fatalf("%s: row %d differs after retries: %+v vs %+v", name, i, rows[i], want[i])
+			}
+		}
+		for i, n := range indexed {
+			if n != 1 {
+				t.Fatalf("%s: row %d announced %d times across attempts", name, i, n)
+			}
+		}
+		if got := wrap.batches.Load(); got != 3 {
+			t.Fatalf("%s: server saw %d batch calls, want 3", name, got)
+		}
+		srv.Close()
+	}
+
+	// Without retries the transient failure surfaces.
+	wrap := &flakyHandler{inner: service.NewServer(nil, 0).Handler(), status: http.StatusServiceUnavailable}
+	wrap.failN.Store(1)
+	srv := httptest.NewServer(wrap)
+	defer srv.Close()
+	if _, err := service.NewClient(srv.URL, srv.Client()).Run(context.Background(), jobs, schedule.BatchOptions{}); err == nil {
+		t.Fatal("transient failure swallowed without Retries")
+	}
+
+	// Deterministic failures are not retried: a bad request burns no
+	// attempts against the server.
+	bad := &flakyHandler{inner: service.NewServer(nil, 0).Handler()}
+	bsrv := httptest.NewServer(bad)
+	defer bsrv.Close()
+	bclient := service.NewClient(bsrv.URL, bsrv.Client())
+	bclient.Retries = 5
+	bclient.RetryBackoff = time.Millisecond
+	badJobs := []schedule.Job{{Instance: "x", Tree: testInstances(t)[0].Tree, Algorithm: "no-such-solver"}}
+	if _, err := bclient.Run(context.Background(), badJobs, schedule.BatchOptions{}); err == nil {
+		t.Fatal("job error swallowed")
+	}
+	if got := bad.batches.Load(); got != 1 {
+		t.Fatalf("deterministic failure was retried: %d batch calls", got)
+	}
+}
+
+// The ISSUE's differential pin: a Shard over two in-process scheduled
+// servers is bit-identical (modulo Seconds) to Local for the same grid —
+// including when one server drops out mid-grid and its chunks are
+// resubmitted to the other.
+func TestShardOverTwoServersMatchesLocal(t *testing.T) {
+	jobs := testJobs(t)
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server 1 is healthy; server 2 fails its first two batch calls
+	// mid-grid style (chunked dispatch spreads calls across both).
+	healthy := httptest.NewServer(service.NewServer(nil, 0).Handler())
+	defer healthy.Close()
+	wrap := &flakyHandler{inner: service.NewServer(nil, 0).Handler(), status: http.StatusBadGateway}
+	wrap.failN.Store(2)
+	flaky := httptest.NewServer(wrap)
+	defer flaky.Close()
+
+	c1 := service.NewClient(healthy.URL, healthy.Client())
+	c2 := service.NewClient(flaky.URL, flaky.Client())
+	shard, err := schedule.NewShard(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps := shard.Capabilities(); !caps.Remote {
+		t.Fatalf("shard of remotes not remote: %+v", caps)
+	}
+
+	var sank schedule.Collector
+	if err := shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	rows := sank.Rows()
+	if len(rows) != len(want) {
+		t.Fatalf("shard streamed %d rows, want %d", len(rows), len(want))
+	}
+	for i := range want {
+		a, b := want[i], rows[i]
+		a.Seconds, b.Seconds = 0, 0
+		if a != b {
+			t.Fatalf("row %d differs sharded vs local: %+v vs %+v", i, rows[i], want[i])
+		}
+	}
+	if shard.Resubmissions() < 2 {
+		t.Fatalf("failed chunks were not resubmitted (%d resubmissions)", shard.Resubmissions())
+	}
+	if wrap.batches.Load() <= 2 {
+		t.Fatal("flaky server never served after recovering")
+	}
+}
+
+// Client.Stream ships the grid as bounded chunk submissions: the server
+// sees ⌈jobs/ChunkSize⌉ batch calls, no call carries the whole grid, and
+// the merged rows equal a Local run.
+func TestClientStreamChunked(t *testing.T) {
+	jobs := testJobs(t)
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &flakyHandler{inner: service.NewServer(nil, 0).Handler()}
+	srv := httptest.NewServer(counter)
+	defer srv.Close()
+	client := service.NewClient(srv.URL, srv.Client())
+
+	const chunk = 4
+	var sank schedule.Collector
+	if err := client.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: chunk}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		a, b := want[i], sank.Rows()[i]
+		a.Seconds, b.Seconds = 0, 0
+		if a != b {
+			t.Fatalf("row %d differs streamed vs local: %+v vs %+v", i, sank.Rows()[i], want[i])
+		}
+	}
+	wantCalls := int64((len(jobs) + chunk - 1) / chunk)
+	if got := counter.batches.Load(); got != wantCalls {
+		t.Fatalf("server saw %d batch calls for %d jobs, want %d chunks of %d", got, len(jobs), wantCalls, chunk)
+	}
+}
+
+// concurrencyBackend records the peak number of concurrent Run calls.
+type concurrencyBackend struct {
+	inner  schedule.Backend
+	active atomic.Int64
+	peak   atomic.Int64
+}
+
+func (b *concurrencyBackend) Capabilities() schedule.Capabilities { return b.inner.Capabilities() }
+
+func (b *concurrencyBackend) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
+	n := b.active.Add(1)
+	defer b.active.Add(-1)
+	for {
+		p := b.peak.Load()
+		if n <= p || b.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // widen the overlap window
+	return b.inner.Run(ctx, jobs, opt)
+}
+
+func (b *concurrencyBackend) Stream(ctx context.Context, src schedule.JobSource, sink schedule.RowSink, opt schedule.StreamOptions) error {
+	return schedule.StreamChunked(ctx, b.Run, src, sink, opt)
+}
+
+// The server's workers bound is global: concurrent batch submissions —
+// several clients, or one client streaming chunks in flight — evaluate one
+// at a time instead of each spinning up its own worker pool.
+func TestServerSerializesBatchEvaluations(t *testing.T) {
+	probe := &concurrencyBackend{inner: schedule.Local{}}
+	srv := httptest.NewServer(service.NewServer(probe, 1).Handler())
+	defer srv.Close()
+	client := service.NewClient(srv.URL, srv.Client())
+	jobs := testJobs(t)
+
+	var sank schedule.Collector
+	if err := client.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: 3, InFlight: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sank.Rows()) != len(jobs) {
+		t.Fatalf("streamed %d rows, want %d", len(sank.Rows()), len(jobs))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Run(context.Background(), jobs[:4], schedule.BatchOptions{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := probe.peak.Load(); p != 1 {
+		t.Fatalf("server evaluated %d batches concurrently, want 1", p)
 	}
 }

@@ -15,6 +15,9 @@ import (
 //	<node> <parent> <f> <n>
 //
 // one node line per node, parent −1 for the root. Node ids are 0-based.
+// Several documents may be concatenated on one stream (a corpus on stdin,
+// say): each document ends after its header's node count is satisfied, and
+// Decoder reads them one at a time.
 
 // Write serializes t in the .tree text format.
 func (t *Tree) Write(w io.Writer) error {
@@ -30,34 +33,47 @@ func (t *Tree) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a tree in the .tree text format.
-func Read(r io.Reader) (*Tree, error) {
+// Decoder reads a stream of .tree documents. Construct with NewDecoder.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder returns a decoder reading consecutive .tree documents from r.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &Decoder{sc: sc}
+}
+
+// Decode parses the next document of the stream. At the clean end of the
+// stream it returns io.EOF; a document cut off mid-way is an error, not
+// EOF.
+func (d *Decoder) Decode() (*Tree, error) {
 	var (
 		parent []int
 		f, n   []int64
 		seen   []bool
 		p      = -1
-		line   = 0
+		nodes  = 0
 	)
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
 		fields := strings.Fields(text)
 		if fields[0] == "p" {
 			if p != -1 {
-				return nil, fmt.Errorf("tree: line %d: duplicate header", line)
+				return nil, fmt.Errorf("tree: line %d: duplicate header", d.line)
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("tree: line %d: malformed header %q", line, text)
+				return nil, fmt.Errorf("tree: line %d: malformed header %q", d.line, text)
 			}
 			v, err := strconv.Atoi(fields[1])
 			if err != nil || v < 1 {
-				return nil, fmt.Errorf("tree: line %d: bad node count %q", line, fields[1])
+				return nil, fmt.Errorf("tree: line %d: bad node count %q", d.line, fields[1])
 			}
 			p = v
 			parent = make([]int, p)
@@ -67,39 +83,63 @@ func Read(r io.Reader) (*Tree, error) {
 			continue
 		}
 		if p == -1 {
-			return nil, fmt.Errorf("tree: line %d: node line before header", line)
+			return nil, fmt.Errorf("tree: line %d: node line before header", d.line)
 		}
 		if len(fields) != 4 {
-			return nil, fmt.Errorf("tree: line %d: want 4 fields, got %d", line, len(fields))
+			return nil, fmt.Errorf("tree: line %d: want 4 fields, got %d", d.line, len(fields))
 		}
 		id, err := strconv.Atoi(fields[0])
 		if err != nil || id < 0 || id >= p {
-			return nil, fmt.Errorf("tree: line %d: bad node id %q", line, fields[0])
+			return nil, fmt.Errorf("tree: line %d: bad node id %q", d.line, fields[0])
 		}
 		if seen[id] {
-			return nil, fmt.Errorf("tree: line %d: duplicate node %d", line, id)
+			return nil, fmt.Errorf("tree: line %d: duplicate node %d", d.line, id)
 		}
 		seen[id] = true
 		if parent[id], err = strconv.Atoi(fields[1]); err != nil {
-			return nil, fmt.Errorf("tree: line %d: bad parent %q", line, fields[1])
+			return nil, fmt.Errorf("tree: line %d: bad parent %q", d.line, fields[1])
 		}
 		if f[id], err = strconv.ParseInt(fields[2], 10, 64); err != nil {
-			return nil, fmt.Errorf("tree: line %d: bad f %q", line, fields[2])
+			return nil, fmt.Errorf("tree: line %d: bad f %q", d.line, fields[2])
 		}
 		if n[id], err = strconv.ParseInt(fields[3], 10, 64); err != nil {
-			return nil, fmt.Errorf("tree: line %d: bad n %q", line, fields[3])
+			return nil, fmt.Errorf("tree: line %d: bad n %q", d.line, fields[3])
+		}
+		if nodes++; nodes == p {
+			// Document complete: the next Decode starts a fresh header.
+			return New(parent, f, n)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := d.sc.Err(); err != nil {
 		return nil, err
 	}
 	if p == -1 {
-		return nil, fmt.Errorf("tree: missing header")
+		return nil, io.EOF
 	}
 	for id, ok := range seen {
 		if !ok {
 			return nil, fmt.Errorf("tree: node %d missing", id)
 		}
 	}
-	return New(parent, f, n)
+	return New(parent, f, n) // unreachable: nodes == p returns above
+}
+
+// Read parses a single tree in the .tree text format, rejecting an empty
+// stream and trailing content after the document.
+func Read(r io.Reader) (*Tree, error) {
+	dec := NewDecoder(r)
+	t, err := dec.Decode()
+	if err == io.EOF {
+		return nil, fmt.Errorf("tree: missing header")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("tree: trailing content after document")
+	}
+	return t, nil
 }

@@ -1,0 +1,80 @@
+package tree
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// A stream of concatenated .tree documents decodes one tree at a time, in
+// order, ending with io.EOF — the substrate for piping corpora through the
+// grid evaluator.
+func TestDecoderStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var want []*Tree
+	var buf bytes.Buffer
+	for i := 0; i < 4; i++ {
+		tr, err := Random(rng, RandomOptions{Nodes: 10 + 7*i, MaxF: 20, MaxN: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tr)
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString("# interleaved comment\n\n")
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("document %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.ParentVector(), w.ParentVector()) ||
+			!reflect.DeepEqual(got.FVector(), w.FVector()) ||
+			!reflect.DeepEqual(got.NVector(), w.NVector()) {
+			t.Fatalf("document %d differs after decode", i)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("after last document: %v, want io.EOF", err)
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("repeated Decode after EOF: %v, want io.EOF", err)
+	}
+}
+
+// A document cut off mid-way is an error, not EOF; the next document's
+// error messages keep counting lines across the whole stream.
+func TestDecoderErrors(t *testing.T) {
+	dec := NewDecoder(strings.NewReader("p 2\n0 -1 1 0\n"))
+	if _, err := dec.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("truncated document: %v, want a hard error", err)
+	}
+
+	dec = NewDecoder(strings.NewReader("p 1\n0 -1 1 0\nnot a header\n"))
+	if _, err := dec.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("second document error does not carry the stream line number: %v", err)
+	}
+}
+
+// Read rejects trailing content: it parses exactly one document.
+func TestReadRejectsTrailing(t *testing.T) {
+	doc := "p 1\n0 -1 1 0\n"
+	if _, err := Read(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(strings.NewReader(doc + doc)); err == nil {
+		t.Fatal("two concatenated documents accepted by Read")
+	}
+	// Trailing comments and blank lines are not content.
+	if _, err := Read(strings.NewReader(doc + "\n# trailing comment\n")); err != nil {
+		t.Fatalf("trailing comment rejected: %v", err)
+	}
+}
