@@ -18,10 +18,18 @@
 //	experiments -exp grid -backend http://h1:8080,http://h2:8080 -progress
 //
 // A comma-separated -backend URL list shards the grid: chunks of jobs fan
-// out across the servers concurrently, a failed chunk is resubmitted to
-// another server, and the merged rows are bit-identical to a local run
-// (Seconds aside). -progress reports rows/sec and completed/total on
-// stderr, so long sharded sweeps are observable.
+// out across the servers concurrently under the -shard-policy scheduler
+// (adaptive by default: each chunk goes to the server with the lowest
+// expected completion time, so a slow or busy server naturally receives
+// fewer chunks). A failed chunk is resubmitted to another server and the
+// failing server is quarantined with exponential backoff, health-probed,
+// and readmitted when it recovers; the merged rows are bit-identical to a
+// local run (Seconds aside). -warm forwards each computed chunk's rows to
+// the sibling servers' caches, so a re-run or resubmitted chunk is warm
+// everywhere. After the grid the shard's scheduling counters
+// (resubmissions, quarantines, readmissions, warmed rows) and per-server
+// dispatch statistics are reported. -progress reports rows/sec and
+// completed/total on stderr, so long sharded sweeps are observable.
 package main
 
 import (
@@ -60,6 +68,8 @@ func run(args []string, w io.Writer) error {
 	backendSpec := fs.String("backend", "local", "grid evaluation backend: local | cached | scheduled-server URL(s); a comma-separated URL list shards the grid across the servers")
 	cachePath := fs.String("cache", "", "JSONL row-store path for -backend cached (empty = in-memory)")
 	retries := fs.Int("retries", 2, "per-chunk submission retries for remote backends (transient errors only)")
+	shardPolicy := fs.String("shard-policy", "adaptive", "chunk dispatch policy for sharded backends: adaptive | roundrobin")
+	warm := fs.Bool("warm", false, "forward computed rows to sibling server caches (sharded backends)")
 	progress := fs.Bool("progress", false, "report grid progress (completed/total, rows/sec) on stderr")
 	noTime := fs.Bool("notime", false, "zero the seconds column of grid exports, making CSV/JSONL byte-identical across backends and reruns")
 	if err := fs.Parse(args); err != nil {
@@ -217,36 +227,59 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	if want("grid") {
-		if err := runGrid(w, insts, *algos, *workers, *csvDir, *backendSpec, *cachePath, *retries, *progress, *noTime); err != nil {
+		cfg := gridConfig{
+			algos: *algos, workers: *workers, csvDir: *csvDir,
+			backend: *backendSpec, cachePath: *cachePath, retries: *retries,
+			shardPolicy: *shardPolicy, warm: *warm,
+			progress: *progress, noTime: *noTime,
+		}
+		if err := runGrid(w, insts, cfg); err != nil {
 			return err
 		}
 	}
 	return runTheorems(w, want)
 }
 
+// gridConfig carries the grid experiment's flag values.
+type gridConfig struct {
+	algos       string
+	workers     int
+	csvDir      string
+	backend     string
+	cachePath   string
+	retries     int
+	shardPolicy string
+	warm        bool
+	progress    bool
+	noTime      bool
+}
+
 // newBackend resolves a -backend spec: "local", "cached" (decorating local
 // with an in-memory store, or the JSONL store at cachePath), the URL of a
 // scheduled evaluation server, or a comma-separated URL list, which builds
-// a schedule.Shard fanning chunks out across the servers. The cleanup func
-// flushes the on-disk store; call it when the grid is done.
-func newBackend(spec, cachePath string, retries int) (schedule.Backend, func() error, error) {
+// a schedule.Shard fanning chunks out across the servers under the
+// -shard-policy scheduler (with -warm, computed rows are forwarded to
+// sibling caches). The cleanup func flushes the on-disk store; call it when
+// the grid is done.
+func newBackend(cfg gridConfig) (schedule.Backend, func() error, error) {
 	nop := func() error { return nil }
 	newClient := func(url string) (*service.Client, error) {
 		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
 			return nil, fmt.Errorf("backend URL %q is not http(s)", url)
 		}
 		c := service.NewClient(url, nil)
-		c.Retries = retries
+		c.Retries = cfg.retries
 		return c, nil
 	}
+	spec := cfg.backend
 	switch {
 	case spec == "local":
 		return schedule.Local{}, nop, nil
 	case spec == "cached":
-		if cachePath == "" {
+		if cfg.cachePath == "" {
 			return schedule.NewCached(schedule.Local{}, nil), nop, nil
 		}
-		store, err := schedule.OpenJSONLStore(cachePath)
+		store, err := schedule.OpenJSONLStore(cfg.cachePath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -263,7 +296,10 @@ func newBackend(spec, cachePath string, retries int) (schedule.Backend, func() e
 			}
 			children = append(children, c)
 		}
-		shard, err := schedule.NewShard(children...)
+		shard, err := schedule.NewShardWith(schedule.ShardOptions{
+			Policy: schedule.ShardPolicy(cfg.shardPolicy),
+			Warm:   cfg.warm,
+		}, children...)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -310,18 +346,20 @@ func (p *gridProgress) row() {
 }
 
 // runGrid evaluates an (instance × algorithm) grid on the selected
-// evaluation backend: every MinMemory algorithm in algos on every instance,
-// plus the six eviction policies replaying MinMem traversals across the
-// memory sweep. Rows stream to w as they complete; with csvDir set they are
-// also exported as grid.csv and grid.jsonl (with noTime, the seconds column
-// is zeroed so the exports are byte-identical across backends and reruns).
-func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, csvDir, backendSpec, cachePath string, retries int, progress, noTime bool) error {
+// evaluation backend: every MinMemory algorithm in cfg.algos on every
+// instance, plus the six eviction policies replaying MinMem traversals
+// across the memory sweep. Rows stream to w as they complete; with
+// cfg.csvDir set they are also exported as grid.csv and grid.jsonl (with
+// cfg.noTime, the seconds column is zeroed so the exports are
+// byte-identical across backends and reruns).
+func runGrid(w io.Writer, insts []dataset.Instance, cfg gridConfig) error {
+	workers, csvDir := cfg.workers, cfg.csvDir
 	gridInsts := make([]schedule.Instance, len(insts))
 	for i, inst := range insts {
 		gridInsts[i] = schedule.Instance{Name: inst.Name, Tree: inst.Tree}
 	}
 	var algNames []string
-	for _, n := range strings.Split(algos, ",") {
+	for _, n := range strings.Split(cfg.algos, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			algNames = append(algNames, n)
 		}
@@ -342,7 +380,7 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 		return err
 	}
 	jobs = append(jobs, polJobs...)
-	backend, cleanup, err := newBackend(backendSpec, cachePath, retries)
+	backend, cleanup, err := newBackend(cfg)
 	if err != nil {
 		return err
 	}
@@ -351,7 +389,7 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 		len(jobs), len(insts), strings.Join(algNames, ","), backend.Capabilities().Name)
 	fmt.Fprintf(w, "  %-24s %-12s %10s %12s %12s\n", "instance", "algorithm", "budget", "memory", "io")
 	var prog *gridProgress
-	if progress {
+	if cfg.progress {
 		prog = newGridProgress(os.Stderr, len(jobs))
 	}
 	rows, err := backend.Run(context.Background(), jobs, schedule.BatchOptions{
@@ -368,9 +406,7 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 	}
 	fmt.Fprintf(w, "  %d rows\n", len(rows))
 	if s, ok := backend.(*schedule.Shard); ok {
-		if n := s.Resubmissions(); n > 0 {
-			fmt.Fprintf(w, "  shard: %d chunk resubmissions\n", n)
-		}
+		reportShard(w, s)
 	}
 	if c, ok := backend.(*schedule.Cached); ok {
 		hits, misses := c.Counters()
@@ -380,7 +416,7 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 	if csvDir == "" {
 		return cleanup()
 	}
-	if noTime {
+	if cfg.noTime {
 		for i := range rows {
 			rows[i].Seconds = 0
 		}
@@ -405,6 +441,25 @@ func runGrid(w io.Writer, insts []dataset.Instance, algos string, workers int, c
 		return err
 	}
 	return cleanup()
+}
+
+// reportShard prints the shard's scheduling counters and per-server
+// dispatch statistics after a grid, so operators can see how the adaptive
+// scheduler spread the work and which servers flapped.
+func reportShard(w io.Writer, s *schedule.Shard) {
+	c := s.Counters()
+	if c.Resubmissions > 0 || c.Quarantines > 0 || c.Readmissions > 0 || c.WarmedRows > 0 || c.WarmErrors > 0 {
+		fmt.Fprintf(w, "  shard: %d resubmissions, %d quarantines, %d readmissions, %d warmed rows, %d warm errors\n",
+			c.Resubmissions, c.Quarantines, c.Readmissions, c.WarmedRows, c.WarmErrors)
+	}
+	for _, cs := range s.ChildStats() {
+		state := ""
+		if cs.Quarantined {
+			state = " (quarantined)"
+		}
+		fmt.Fprintf(w, "  shard child %s: %d chunks, %d rows, %d failures, %.0f rows/s%s\n",
+			cs.Name, cs.Chunks, cs.Rows, cs.Failures, cs.RowsPerSec, state)
+	}
 }
 
 // runTheorems prints the Theorem 1 and 2 demonstrations.

@@ -168,10 +168,21 @@ func TestGridShardedBackendByteIdentical(t *testing.T) {
 		t.Fatal("second server never dispatched to")
 	}
 
-	// Malformed lists are rejected.
+	// Both dispatch policies and cache warming produce the same bytes.
+	rrCSV, rrJSONL := gridFiles("roundrobin", "-backend", srv1.URL+","+srv2.URL,
+		"-retries", "0", "-shard-policy", "roundrobin", "-warm")
+	if rrCSV != localCSV || rrJSONL != localJSONL {
+		t.Fatal("round-robin warmed shard exports differ from local")
+	}
+
+	// Malformed lists and unknown policies are rejected.
 	var sb strings.Builder
 	if err := run([]string{"-exp", "grid", "-scale", "small", "-backend", srv1.URL + ",bogus"}, &sb); err == nil {
 		t.Fatal("non-URL shard member accepted")
+	}
+	if err := run([]string{"-exp", "grid", "-scale", "small",
+		"-backend", srv1.URL + "," + srv2.URL, "-shard-policy", "fastest"}, &sb); err == nil {
+		t.Fatal("unknown shard policy accepted")
 	}
 }
 

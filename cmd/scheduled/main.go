@@ -10,6 +10,9 @@
 // bounds the store: beyond that many rows the least-recently-used entries
 // are evicted (and the file compacts down to the bound when the server next
 // loads it), so a long-lived server's store does not grow without bound.
+// The same store backs the /v1/warm endpoint: rows a shard (or a sibling
+// server) computed elsewhere are pushed in and answer later batches here,
+// so a fleet of cached servers converges on one warm working set.
 //
 // Usage:
 //
@@ -87,7 +90,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "scheduled: listening on http://%s (%d algorithms, backend %s)\n",
 		ln.Addr(), len(schedule.Names()), backend.Capabilities().Name)
-	srv := &http.Server{Handler: service.NewServer(backend, *workers).Handler()}
+	var warmStore schedule.Store
+	if store != nil {
+		warmStore = store
+	}
+	srv := &http.Server{Handler: service.NewServerWith(service.ServerOptions{
+		Backend: backend, Workers: *workers, Store: warmStore,
+	}).Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	select {

@@ -5,40 +5,84 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/tree"
 )
 
 // Shard fans one job stream out across several child backends — typically
 // service.Client remotes speaking to distinct scheduled servers. The stream
-// is cut into chunks (StreamOptions.ChunkSize); each chunk is dispatched
-// round-robin to a child with at most StreamOptions.InFlight chunks in
-// flight (default 2 × children), and the chunk results merge into the sink
-// in job order, so a sharded grid is bit-identical to a Local run up to the
-// Seconds column.
+// is cut into chunks (StreamOptions.ChunkSize); each chunk is dispatched to
+// a child picked by the ShardOptions.Policy scheduler — by default the
+// adaptive policy, which weights dispatch by each child's observed
+// throughput and in-flight load so a slow or busy server naturally receives
+// fewer chunks — with at most StreamOptions.InFlight chunks in flight
+// (default 2 × children). Chunk results merge into the sink in job order,
+// so a sharded grid is bit-identical to a Local run up to the Seconds
+// column.
 //
-// A chunk whose child fails is resubmitted to the next child, trying each
-// child at most once; only when every child has failed the chunk does the
-// stream fail. Transient child failures (a server restarting, a dropped
-// connection) therefore cost a resubmission, not the batch — deterministic
-// job errors still fail after one round, since every child rejects them the
-// same way. Construct with NewShard.
+// A chunk whose child fails is resubmitted to another child, and the failed
+// child is quarantined: benched for an exponentially growing interval
+// (ShardOptions.QuarantineBase doubling up to QuarantineMax), then probed —
+// via HealthChecker when the child implements it, on backoff expiry alone
+// otherwise — and readmitted when it responds. Transient child failures (a
+// server restarting, a dropped connection) therefore cost a resubmission
+// and a quarantine, not the batch. Only when every child has either failed
+// the chunk or failed its readmission probe does the stream fail, with a
+// *ChunkError naming the chunk's job index range so the run can be resumed.
+// Deterministic job errors still fail after one round, since every child
+// rejects them the same way.
+//
+// With ShardOptions.Warm set, each computed chunk's rows are forwarded
+// (keyed by CacheKey) to every sibling child implementing RowWarmer, so a
+// resubmitted or re-run chunk is warm on every cache in the fleet.
+//
+// Construct with NewShard (default options) or NewShardWith.
 type Shard struct {
-	children  []Backend
-	rr        atomic.Int64
-	resubmits atomic.Int64
+	mu       sync.Mutex
+	children []shardChild
+	rr       int // round-robin cursor, guarded by mu
+	opt      ShardOptions
+
+	resubmits    atomic.Int64
+	quarantines  atomic.Int64
+	readmissions atomic.Int64
+	warmedRows   atomic.Int64
+	warmErrors   atomic.Int64
+
+	digestMu      sync.Mutex
+	digests       map[*tree.Tree]tree.Digest
+	activeStreams int
 }
 
-// NewShard builds a shard over the child backends.
+// NewShard builds a shard over the child backends with default options:
+// the adaptive dispatch policy, the default quarantine ladder, no cache
+// warming.
 func NewShard(children ...Backend) (*Shard, error) {
+	return NewShardWith(ShardOptions{}, children...)
+}
+
+// NewShardWith builds a shard over the child backends with the given
+// scheduler options.
+func NewShardWith(opt ShardOptions, children ...Backend) (*Shard, error) {
 	if len(children) == 0 {
 		return nil, errors.New("schedule: shard needs at least one child backend")
 	}
+	switch opt.Policy {
+	case "", PolicyAdaptive, PolicyRoundRobin:
+	default:
+		return nil, fmt.Errorf("schedule: unknown shard policy %q", opt.Policy)
+	}
+	s := &Shard{opt: opt.withDefaults(), digests: map[*tree.Tree]tree.Digest{}}
 	for i, c := range children {
 		if c == nil {
 			return nil, fmt.Errorf("schedule: shard child %d is nil", i)
 		}
+		s.children = append(s.children, shardChild{backend: c, name: c.Capabilities().Name})
 	}
-	return &Shard{children: append([]Backend(nil), children...)}, nil
+	return s, nil
 }
 
 // Capabilities implements Backend: the shard is remote or cached when any
@@ -46,8 +90,8 @@ func NewShard(children ...Backend) (*Shard, error) {
 func (s *Shard) Capabilities() Capabilities {
 	var names []string
 	caps := Capabilities{}
-	for _, c := range s.children {
-		cc := c.Capabilities()
+	for i := range s.children {
+		cc := s.children[i].backend.Capabilities()
 		names = append(names, cc.Name)
 		caps.Remote = caps.Remote || cc.Remote
 		caps.Cached = caps.Cached || cc.Cached
@@ -57,16 +101,56 @@ func (s *Shard) Capabilities() Capabilities {
 }
 
 // Resubmissions returns the cumulative number of chunk retries: dispatches
-// beyond the first attempt, across all Stream and Run calls.
+// beyond the first attempt, across all Stream and Run calls. It is
+// Counters().Resubmissions, kept as a method for existing callers.
 func (s *Shard) Resubmissions() int64 { return s.resubmits.Load() }
 
-// Stream implements Backend: chunks fan out across the children with
-// bounded in-flight, failed chunks are resubmitted to other children, and
-// the order-preserving merge keeps the sink bit-identical to a Local run.
+// Counters returns a snapshot of the shard's cumulative scheduling
+// counters.
+func (s *Shard) Counters() ShardCounters {
+	return ShardCounters{
+		Resubmissions: s.resubmits.Load(),
+		Quarantines:   s.quarantines.Load(),
+		Readmissions:  s.readmissions.Load(),
+		WarmedRows:    s.warmedRows.Load(),
+		WarmErrors:    s.warmErrors.Load(),
+	}
+}
+
+// ChildStats returns a per-child snapshot of the scheduler state, in child
+// order.
+func (s *Shard) ChildStats() []ShardChildStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := make([]ShardChildStats, len(s.children))
+	for i := range s.children {
+		c := &s.children[i]
+		tp, _ := c.throughput()
+		stats[i] = ShardChildStats{
+			Name:         c.name,
+			Chunks:       c.chunks,
+			Rows:         c.rows,
+			Failures:     c.failures,
+			Quarantines:  c.quarantines,
+			Readmissions: c.readmissions,
+			Quarantined:  c.quarantined,
+			RowsPerSec:   tp,
+		}
+	}
+	return stats
+}
+
+// Stream implements Backend: chunks fan out across the children under the
+// configured dispatch policy with bounded in-flight, failed chunks are
+// resubmitted to other children (the failing child is quarantined and later
+// readmitted), and the order-preserving merge keeps the sink bit-identical
+// to a Local run.
 func (s *Shard) Stream(ctx context.Context, src JobSource, sink RowSink, opt StreamOptions) error {
 	chunkSize, inFlight := opt.chunking(2 * len(s.children))
-	return streamChunks(ctx, src, sink, chunkSize, inFlight, func(ctx context.Context, jobs []Job) ([]Row, error) {
-		return s.runChunk(ctx, jobs, opt.Workers)
+	s.acquireDigests()
+	defer s.releaseDigests()
+	return streamChunks(ctx, src, sink, chunkSize, inFlight, func(ctx context.Context, start int, jobs []Job) ([]Row, error) {
+		return s.runChunk(ctx, start, jobs, opt.Workers)
 	})
 }
 
@@ -77,24 +161,56 @@ func (s *Shard) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, e
 	return RunViaStream(ctx, s, jobs, opt)
 }
 
-// runChunk evaluates one chunk, trying each child at most once, starting at
-// the round-robin cursor so concurrent chunks spread across the children.
-func (s *Shard) runChunk(ctx context.Context, jobs []Job, workers int) ([]Row, error) {
-	start := int(s.rr.Add(1)-1) % len(s.children)
+// runChunk evaluates one chunk (stream job indices [start, start+len(jobs))),
+// dispatching to scheduler-picked children until one succeeds. Each child is
+// tried at most once per chunk; a failing child is quarantined and the
+// chunk resubmitted elsewhere. When every child has been tried — run or
+// readmission probe — and failed, the chunk fails with a *ChunkError naming
+// the job index range.
+func (s *Shard) runChunk(ctx context.Context, start int, jobs []Job, workers int) ([]Row, error) {
+	tried := make(map[int]bool, len(s.children))
 	var errs []error
-	for k := 0; k < len(s.children); k++ {
-		if k > 0 {
+	chunkErr := func() error {
+		joined := errors.Join(errs...)
+		if joined == nil {
+			// Every child was exhausted by failed readmission probes rather
+			// than by running this chunk; say so instead of wrapping nil.
+			joined = errors.New("every child is quarantined and failed its readmission probe")
+		}
+		return &ChunkError{First: start, Last: start + len(jobs), Err: joined}
+	}
+	for attempt := 0; ; attempt++ {
+		idx := s.pick(ctx, tried, len(jobs))
+		if idx < 0 {
+			if err := ctx.Err(); err != nil {
+				// The stream is being torn down; this chunk was aborted, not
+				// rejected fleet-wide, so surface the cancellation rather
+				// than a misleading all-children ChunkError.
+				return nil, err
+			}
+			return nil, chunkErr()
+		}
+		if attempt > 0 {
 			s.resubmits.Add(1)
 		}
-		child := s.children[(start+k)%len(s.children)]
+		child := s.children[idx].backend
+		t0 := time.Now()
 		rows, err := child.Run(ctx, jobs, BatchOptions{Workers: workers})
+		s.complete(idx, len(jobs), time.Since(t0), err == nil)
 		if err == nil {
+			if s.opt.Warm {
+				s.warmSiblings(ctx, idx, jobs, rows)
+			}
 			return rows, nil
 		}
-		errs = append(errs, fmt.Errorf("%s: %w", child.Capabilities().Name, err))
 		if ctx.Err() != nil {
-			break
+			// The child's failure is (or is indistinguishable from) the
+			// cancellation: don't bench a possibly healthy child or inflate
+			// its failure counters, and report the abort as what it is.
+			return nil, ctx.Err()
 		}
+		errs = append(errs, fmt.Errorf("%s: %w", s.children[idx].name, err))
+		s.quarantine(idx)
+		tried[idx] = true
 	}
-	return nil, fmt.Errorf("schedule: shard chunk of %d jobs failed on all children: %w", len(jobs), errors.Join(errs...))
 }

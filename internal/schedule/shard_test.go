@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/schedule"
 )
@@ -43,43 +44,62 @@ func TestNewShardRejects(t *testing.T) {
 	if _, err := schedule.NewShard(schedule.Local{}, nil); err == nil {
 		t.Fatal("nil child accepted")
 	}
+	if _, err := schedule.NewShardWith(schedule.ShardOptions{Policy: "fastest"}, schedule.Local{}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
 }
 
 // A shard over healthy children returns the rows of a Local run
-// bit-identically (Seconds aside), via Run and via Stream.
+// bit-identically (Seconds aside), via Run and via Stream, under both
+// dispatch policies.
 func TestShardMatchesLocal(t *testing.T) {
 	jobs := gridJobs(t)
 	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	shard, err := schedule.NewShard(schedule.Local{}, schedule.Local{}, schedule.Local{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if caps := shard.Capabilities(); !strings.HasPrefix(caps.Name, "shard(") {
-		t.Fatalf("capabilities %+v", caps)
-	}
-	got, err := shard.Run(context.Background(), jobs, schedule.BatchOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sameRowsNoTime(t, want, got, "shard run vs local")
+	for _, policy := range []schedule.ShardPolicy{schedule.PolicyAdaptive, schedule.PolicyRoundRobin} {
+		shard, err := schedule.NewShardWith(schedule.ShardOptions{Policy: policy},
+			schedule.Local{}, schedule.Local{}, schedule.Local{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if caps := shard.Capabilities(); !strings.HasPrefix(caps.Name, "shard(") {
+			t.Fatalf("capabilities %+v", caps)
+		}
+		got, err := shard.Run(context.Background(), jobs, schedule.BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRowsNoTime(t, want, got, string(policy)+" shard run vs local")
 
-	var sank schedule.Collector
-	if err := shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
-		schedule.StreamOptions{ChunkSize: 3}); err != nil {
-		t.Fatal(err)
-	}
-	sameRowsNoTime(t, want, sank.Rows(), "shard stream vs local")
-	if n := shard.Resubmissions(); n != 0 {
-		t.Fatalf("healthy shard recorded %d resubmissions", n)
+		var sank schedule.Collector
+		if err := shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+			schedule.StreamOptions{ChunkSize: 3}); err != nil {
+			t.Fatal(err)
+		}
+		sameRowsNoTime(t, want, sank.Rows(), string(policy)+" shard stream vs local")
+		if c := shard.Counters(); c.Resubmissions != 0 || c.Quarantines != 0 || c.Readmissions != 0 {
+			t.Fatalf("healthy shard recorded counters %+v", c)
+		}
+		stats := shard.ChildStats()
+		if len(stats) != 3 {
+			t.Fatalf("child stats %+v", stats)
+		}
+		var chunks, rows int64
+		for _, cs := range stats {
+			chunks += cs.Chunks
+			rows += cs.Rows
+		}
+		if rows != int64(2*len(jobs)) || chunks == 0 { // Run + Stream passes
+			t.Fatalf("child stats account for %d rows in %d chunks, want %d rows", rows, chunks, 2*len(jobs))
+		}
 	}
 }
 
-// A child that fails mid-grid costs resubmissions, not the batch: the
-// failed chunks land on the other child and the merged rows stay
-// bit-identical to a Local run.
+// A child that fails mid-grid costs a resubmission and a quarantine, not
+// the batch: the failed chunk lands on the other child and the merged rows
+// stay bit-identical to a Local run.
 func TestShardResubmitsFailedChunks(t *testing.T) {
 	jobs := gridJobs(t)
 	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
@@ -87,8 +107,8 @@ func TestShardResubmitsFailedChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	flaky := &flakyBackend{inner: schedule.Local{}}
-	flaky.failN.Store(3) // drops its first three chunks, then recovers
-	shard, err := schedule.NewShard(flaky, schedule.Local{})
+	flaky.failN.Store(1)
+	shard, err := schedule.NewShardWith(schedule.ShardOptions{QuarantineBase: time.Millisecond}, flaky, schedule.Local{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,18 +118,25 @@ func TestShardResubmitsFailedChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameRowsNoTime(t, want, sank.Rows(), "shard with flaky child vs local")
-	if n := shard.Resubmissions(); n < 3 {
-		t.Fatalf("expected ≥ 3 chunk resubmissions, counted %d", n)
+	c := shard.Counters()
+	if c.Resubmissions < 1 {
+		t.Fatalf("failed chunk not resubmitted: counters %+v", c)
+	}
+	if c.Quarantines < 1 {
+		t.Fatalf("failing child not quarantined: counters %+v", c)
 	}
 	if flaky.runs.Load() == 0 {
 		t.Fatal("flaky child never dispatched to")
 	}
+	if shard.Resubmissions() != c.Resubmissions {
+		t.Fatal("Resubmissions() disagrees with Counters()")
+	}
 }
 
-// Only when every child fails a chunk does the stream fail, and the error
-// names each child's failure.
+// Only when every child fails a chunk does the stream fail, with a typed
+// ChunkError naming the chunk's job index range so the run can be resumed.
 func TestShardFailsWhenAllChildrenFail(t *testing.T) {
-	jobs := gridJobs(t)[:4]
+	jobs := gridJobs(t)[:10]
 	dead1, dead2 := &flakyBackend{inner: schedule.Local{}}, &flakyBackend{inner: schedule.Local{}}
 	dead1.failN.Store(1 << 30)
 	dead2.failN.Store(1 << 30)
@@ -117,19 +144,35 @@ func TestShardFailsWhenAllChildrenFail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = shard.Run(context.Background(), jobs, schedule.BatchOptions{})
+	var sank schedule.Collector
+	err = shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: 4})
 	if err == nil || !strings.Contains(err.Error(), "failed on all children") {
 		t.Fatalf("all-dead shard: got %v", err)
 	}
+	var ce *schedule.ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is not a *ChunkError: %v", err)
+	}
+	if ce.First != 0 || ce.Last != 4 {
+		t.Fatalf("chunk error names jobs [%d,%d), want [0,4)", ce.First, ce.Last)
+	}
+	if !strings.Contains(ce.Error(), "flaky(local)") {
+		t.Fatalf("chunk error does not name the children: %v", ce)
+	}
 
-	// A deterministic job error also fails — after one round of children.
+	// A deterministic job error also fails — every child rejects it the
+	// same way, and the index range points at the offending chunk.
 	bad := []schedule.Job{{Instance: "x", Tree: jobs[0].Tree, Algorithm: "no-such-solver"}}
 	healthy, err := schedule.NewShard(schedule.Local{}, schedule.Local{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := healthy.Run(context.Background(), bad, schedule.BatchOptions{}); err == nil ||
-		!strings.Contains(err.Error(), "no-such-solver") {
+	_, err = healthy.Run(context.Background(), bad, schedule.BatchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "no-such-solver") {
 		t.Fatalf("job error not surfaced: %v", err)
+	}
+	if !errors.As(err, &ce) || ce.First != 0 || ce.Last != 1 {
+		t.Fatalf("job error chunk range: %v", err)
 	}
 }

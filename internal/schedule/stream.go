@@ -122,7 +122,7 @@ type RunFunc func(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, err
 // ChunkSize × InFlight regardless of the stream length.
 func StreamChunked(ctx context.Context, run RunFunc, src JobSource, sink RowSink, opt StreamOptions) error {
 	chunkSize, inFlight := opt.chunking(2)
-	return streamChunks(ctx, src, sink, chunkSize, inFlight, func(ctx context.Context, jobs []Job) ([]Row, error) {
+	return streamChunks(ctx, src, sink, chunkSize, inFlight, func(ctx context.Context, _ int, jobs []Job) ([]Row, error) {
 		return run(ctx, jobs, BatchOptions{Workers: opt.Workers})
 	})
 }
@@ -132,8 +132,10 @@ func StreamChunked(ctx context.Context, run RunFunc, src JobSource, sink RowSink
 // slot before reading each chunk (bounding read-ahead), evaluates chunks on
 // worker goroutines, and the merge loop drains per-chunk result channels in
 // dispatch order, releasing the slot only after the chunk's rows reach the
-// sink — so ChunkSize × InFlight bounds everything resident at once.
-func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, inFlight int, eval func(ctx context.Context, jobs []Job) ([]Row, error)) error {
+// sink — so ChunkSize × InFlight bounds everything resident at once. eval
+// receives each chunk's global job offset within the stream, so evaluators
+// can report failures by source index (the Shard's ChunkError).
+func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, inFlight int, eval func(ctx context.Context, start int, jobs []Job) ([]Row, error)) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -147,6 +149,7 @@ func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, i
 
 	go func() {
 		defer close(order)
+		offset := 0
 		for {
 			select {
 			case sem <- struct{}{}:
@@ -163,9 +166,11 @@ func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, i
 			if len(jobs) == 0 {
 				return
 			}
+			start := offset
+			offset += len(jobs)
 			rc := make(chan result, 1)
 			go func() {
-				rows, err := eval(ctx, jobs)
+				rows, err := eval(ctx, start, jobs)
 				rc <- result{jobs: len(jobs), rows: rows, err: err}
 			}()
 			order <- rc

@@ -81,6 +81,53 @@ func (c *Client) Algorithms(ctx context.Context) ([]AlgorithmInfo, error) {
 	return infos, nil
 }
 
+// Health implements schedule.HealthChecker: it probes the server's
+// algorithm-list endpoint — the cheapest call that proves the registry is
+// actually serving, not just that a socket accepts — and returns nil when
+// the server responds with a decodable algorithm list. The Shard scheduler
+// uses it to decide whether a quarantined server has recovered and can be
+// readmitted.
+func (c *Client) Health(ctx context.Context) error {
+	infos, err := c.Algorithms(ctx)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		return fmt.Errorf("service: %s lists no algorithms", c.base)
+	}
+	return nil
+}
+
+// WarmRows implements schedule.RowWarmer: the keyed rows are pushed to the
+// server's /v1/warm endpoint, landing in its row store (if it has one) so a
+// later batch over the same jobs is answered without recomputation. The
+// returned count is how many entries the server stored — 0 for a cacheless
+// server, which accepts the push as a no-op.
+func (c *Client) WarmRows(ctx context.Context, entries []schedule.WarmEntry) (int, error) {
+	body, err := json.Marshal(WarmRequest{Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/warm", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, httpError(resp)
+	}
+	var wr WarmResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return 0, fmt.Errorf("service: decode warm response: %w", err)
+	}
+	return wr.Stored, nil
+}
+
 // transientError marks a failure worth resubmitting: the server may simply
 // have been unreachable or restarting, and the batch protocol is
 // idempotent.

@@ -16,6 +16,8 @@
 //	                       in completion order — {"index": i, "row": {…}} —
 //	                       terminated by {"done": true, "count": N} on
 //	                       success or {"error": "…"} on failure.
+//	POST /v1/warm        → request: {"entries": [{key, row}, …]}
+//	                       response: {"stored": N}
 //
 // Trees travel in the .tree wire form of internal/tree (text, one node per
 // line) and are referenced by id from jobs, so a grid of J jobs over T
@@ -23,6 +25,14 @@
 // line is mandatory: rows stream as they complete, so the HTTP status is
 // already committed when a late job fails, and a client must treat a stream
 // without a terminator as truncated.
+//
+// /v1/warm is the cache-warming sink of cross-shard gossip: a shard (or a
+// sibling server) pushes rows it computed, keyed by schedule.CacheKey, and
+// a server configured with a row store (ServerOptions.Store, cmd/scheduled
+// -cache) stores them so a resubmitted or re-run chunk is answered without
+// recomputation. A server without a store accepts the push and stores
+// nothing ({"stored": 0}) — warming a cacheless server is a no-op, not an
+// error.
 package service
 
 import (
@@ -72,6 +82,19 @@ type BatchLine struct {
 	Count int           `json:"count,omitempty"`
 }
 
+// WarmRequest is the body of POST /v1/warm: rows computed elsewhere, keyed
+// by schedule.CacheKey, offered to this server's row store.
+type WarmRequest struct {
+	Entries []schedule.WarmEntry `json:"entries"`
+}
+
+// WarmResponse is the body of the POST /v1/warm response.
+type WarmResponse struct {
+	// Stored is the number of entries accepted into the store (0 when the
+	// server has no store).
+	Stored int `json:"stored"`
+}
+
 // maxBatchBytes bounds a batch request body (64 MiB — a full-scale grid
 // over the dataset suite is well under 10 MiB on the wire).
 const maxBatchBytes = 64 << 20
@@ -80,6 +103,7 @@ const maxBatchBytes = 64 << 20
 type Server struct {
 	backend schedule.Backend
 	workers int
+	store   schedule.Store
 	// evalSem serializes batch evaluations: the workers bound is per
 	// server, not per request, so concurrent submissions (several clients,
 	// or one client streaming chunks in flight) queue instead of each
@@ -88,15 +112,35 @@ type Server struct {
 	evalSem chan struct{}
 }
 
+// ServerOptions configures NewServerWith.
+type ServerOptions struct {
+	// Backend evaluates the batches (nil selects schedule.Local).
+	Backend schedule.Backend
+	// Workers bounds each batch's worker pool unless the request asks for
+	// fewer (≤ 0: GOMAXPROCS). The bound is global: batches evaluate one at
+	// a time, so concurrent submissions cannot multiply the pool.
+	Workers int
+	// Store, when non-nil, receives rows pushed to /v1/warm — normally the
+	// same row store the backend's cache reads, so warmed rows answer later
+	// batches. A nil store keeps /v1/warm a no-op.
+	Store schedule.Store
+}
+
 // NewServer builds a server over backend (nil selects schedule.Local) with
 // workers bounding each batch's pool unless the request asks for fewer
 // (≤ 0: GOMAXPROCS). The bound is global: batches evaluate one at a time,
-// so concurrent submissions cannot multiply the pool.
+// so concurrent submissions cannot multiply the pool. Warm pushes are
+// dropped; use NewServerWith to accept them into a store.
 func NewServer(backend schedule.Backend, workers int) *Server {
-	if backend == nil {
-		backend = schedule.Local{}
+	return NewServerWith(ServerOptions{Backend: backend, Workers: workers})
+}
+
+// NewServerWith builds a server from the options.
+func NewServerWith(opt ServerOptions) *Server {
+	if opt.Backend == nil {
+		opt.Backend = schedule.Local{}
 	}
-	return &Server{backend: backend, workers: workers, evalSem: make(chan struct{}, 1)}
+	return &Server{backend: opt.Backend, workers: opt.Workers, store: opt.Store, evalSem: make(chan struct{}, 1)}
 }
 
 // Handler returns the routed http.Handler for the API.
@@ -105,7 +149,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/warm", s.handleWarm)
 	return mux
+}
+
+// handleWarm accepts rows computed elsewhere into the server's row store.
+// Entries with empty keys are rejected as malformed; a server without a
+// store accepts the push and stores nothing.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req WarmRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad warm request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i, e := range req.Entries {
+		if e.Key == "" {
+			http.Error(w, fmt.Sprintf("warm entry %d has an empty key", i), http.StatusBadRequest)
+			return
+		}
+	}
+	stored := 0
+	if s.store != nil {
+		for _, e := range req.Entries {
+			if err := s.store.Put(e.Key, e.Row); err != nil {
+				http.Error(w, "store warm entry: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			stored++
+		}
+	}
+	writeJSON(w, http.StatusOK, WarmResponse{Stored: stored})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -301,10 +301,26 @@ func TestClientRetries(t *testing.T) {
 	}
 }
 
-// The ISSUE's differential pin: a Shard over two in-process scheduled
-// servers is bit-identical (modulo Seconds) to Local for the same grid —
-// including when one server drops out mid-grid and its chunks are
-// resubmitted to the other.
+// slowHandler delays every /v1/batch POST by delay before delegating — the
+// stand-in for an overloaded server.
+type slowHandler struct {
+	inner http.Handler
+	delay time.Duration
+}
+
+func (h *slowHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/batch" {
+		time.Sleep(h.delay)
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// The ISSUE's differential pin: an adaptively-scheduled, readmitting Shard
+// over two scheduled servers — one slow, one flapping — is bit-identical
+// (modulo Seconds) to Local for the same grid. The flapping server's
+// batch failures quarantine it; its algorithm-list endpoint keeps
+// answering, so the health probe readmits it and it serves again, and both
+// lifecycle counters end up nonzero.
 func TestShardOverTwoServersMatchesLocal(t *testing.T) {
 	jobs := testJobs(t)
 	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
@@ -312,18 +328,22 @@ func TestShardOverTwoServersMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Server 1 is healthy; server 2 fails its first two batch calls
-	// mid-grid style (chunked dispatch spreads calls across both).
-	healthy := httptest.NewServer(service.NewServer(nil, 0).Handler())
-	defer healthy.Close()
+	// Server 1 is healthy but slow; server 2 flaps: it fails its first two
+	// batch calls mid-grid style (chunked dispatch spreads calls across
+	// both), while its list endpoint — the health probe — keeps working.
+	slow := httptest.NewServer(&slowHandler{inner: service.NewServer(nil, 0).Handler(), delay: 10 * time.Millisecond})
+	defer slow.Close()
 	wrap := &flakyHandler{inner: service.NewServer(nil, 0).Handler(), status: http.StatusBadGateway}
 	wrap.failN.Store(2)
 	flaky := httptest.NewServer(wrap)
 	defer flaky.Close()
 
-	c1 := service.NewClient(healthy.URL, healthy.Client())
+	c1 := service.NewClient(slow.URL, slow.Client())
 	c2 := service.NewClient(flaky.URL, flaky.Client())
-	shard, err := schedule.NewShard(c1, c2)
+	shard, err := schedule.NewShardWith(schedule.ShardOptions{
+		Policy:         schedule.PolicyAdaptive,
+		QuarantineBase: time.Millisecond,
+	}, c1, c2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,11 +367,118 @@ func TestShardOverTwoServersMatchesLocal(t *testing.T) {
 			t.Fatalf("row %d differs sharded vs local: %+v vs %+v", i, rows[i], want[i])
 		}
 	}
-	if shard.Resubmissions() < 2 {
-		t.Fatalf("failed chunks were not resubmitted (%d resubmissions)", shard.Resubmissions())
+	c := shard.Counters()
+	if c.Resubmissions < 2 {
+		t.Fatalf("failed chunks were not resubmitted: counters %+v", c)
+	}
+	if c.Quarantines < 1 {
+		t.Fatalf("flapping server never quarantined: counters %+v", c)
+	}
+	if c.Readmissions < 1 {
+		t.Fatalf("flapping server never readmitted: counters %+v", c)
 	}
 	if wrap.batches.Load() <= 2 {
 		t.Fatal("flaky server never served after recovering")
+	}
+}
+
+// Health is the readmission probe: nil against a serving server, an error
+// against one whose registry endpoint fails.
+func TestClientHealth(t *testing.T) {
+	client := startServer(t, nil)
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatalf("healthy server probed unhealthy: %v", err)
+	}
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "restarting", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	if err := service.NewClient(down.URL, down.Client()).Health(context.Background()); err == nil {
+		t.Fatal("down server probed healthy")
+	}
+}
+
+// /v1/warm stores pushed rows in the server's store, so a later batch over
+// the same jobs is answered without recomputation; a cacheless server
+// accepts the push as a no-op.
+func TestWarmEndpoint(t *testing.T) {
+	jobs := testJobs(t)
+	rows, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]schedule.WarmEntry, len(jobs))
+	for i, j := range jobs {
+		entries[i] = schedule.WarmEntry{Key: schedule.CacheKey(j), Row: rows[i]}
+	}
+
+	store := schedule.NewMemStore()
+	cached := schedule.NewCached(schedule.Local{}, store)
+	srv := httptest.NewServer(service.NewServerWith(service.ServerOptions{Backend: cached, Store: store}).Handler())
+	defer srv.Close()
+	client := service.NewClient(srv.URL, srv.Client())
+	stored, err := client.WarmRows(context.Background(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != len(entries) || store.Len() != len(entries) {
+		t.Fatalf("warm stored %d entries (store holds %d), want %d", stored, store.Len(), len(entries))
+	}
+	// The warmed server answers the whole batch from its store.
+	if _, err := client.Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cached.Counters(); misses != 0 || hits != int64(len(jobs)) {
+		t.Fatalf("warmed server recomputed: %d hits, %d misses", hits, misses)
+	}
+
+	// A cacheless server accepts and stores nothing.
+	plain := startServer(t, nil)
+	if stored, err := plain.WarmRows(context.Background(), entries[:3]); err != nil || stored != 0 {
+		t.Fatalf("cacheless warm: stored %d, err %v", stored, err)
+	}
+
+	// Empty keys are rejected as malformed.
+	if _, err := client.WarmRows(context.Background(), []schedule.WarmEntry{{}}); err == nil {
+		t.Fatal("empty warm key accepted")
+	}
+}
+
+// The tentpole end to end: a warming shard over two cached servers leaves
+// every row in both servers' stores after one stream, so a re-run anywhere
+// in the fleet is answered without recomputation.
+func TestShardWarmsServerCaches(t *testing.T) {
+	jobs := testJobs(t)
+	newCachedServer := func() (*httptest.Server, *schedule.MemStore) {
+		store := schedule.NewMemStore()
+		srv := httptest.NewServer(service.NewServerWith(service.ServerOptions{
+			Backend: schedule.NewCached(schedule.Local{}, store),
+			Store:   store,
+		}).Handler())
+		t.Cleanup(srv.Close)
+		return srv, store
+	}
+	srv1, store1 := newCachedServer()
+	srv2, store2 := newCachedServer()
+	shard, err := schedule.NewShardWith(schedule.ShardOptions{Warm: true},
+		service.NewClient(srv1.URL, srv1.Client()),
+		service.NewClient(srv2.URL, srv2.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sank schedule.Collector
+	if err := shard.Stream(context.Background(), schedule.SliceSource(jobs), &sank,
+		schedule.StreamOptions{ChunkSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sank.Rows()) != len(jobs) {
+		t.Fatalf("streamed %d rows, want %d", len(sank.Rows()), len(jobs))
+	}
+	if store1.Len() != len(jobs) || store2.Len() != len(jobs) {
+		t.Fatalf("warming left server stores at %d and %d rows, want %d each", store1.Len(), store2.Len(), len(jobs))
+	}
+	if c := shard.Counters(); c.WarmedRows != int64(len(jobs)) || c.WarmErrors != 0 {
+		t.Fatalf("warm counters %+v, want %d warmed rows and no errors", c, len(jobs))
 	}
 }
 

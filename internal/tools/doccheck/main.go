@@ -1,0 +1,139 @@
+// Command doccheck fails when an exported top-level identifier in the
+// given package directories lacks a doc comment. It is the documentation
+// gate of the CI docs job:
+//
+//	go run ./internal/tools/doccheck ./internal/schedule ./internal/service
+//
+// Checked declarations: exported functions and methods (methods count when
+// their receiver's base type is exported), and exported types, constants
+// and variables. A grouped const/var/type block is satisfied by a doc
+// comment on the group or on the individual spec; _test.go files are
+// skipped. Every offender is reported as file:line: name, and the exit
+// status is nonzero if any were found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := check(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		bad += len(missing)
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check parses every non-test Go file of dir and returns "file:line: name"
+// for each exported identifier without a doc comment.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), funcName(d))
+					}
+				case *ast.GenDecl:
+					if d.Doc != nil {
+						continue // group doc covers the block
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(n.Pos(), n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// receiverExported reports whether a declaration is package-level API: a
+// plain function, or a method whose receiver base type is exported (an
+// exported method on an unexported type is unreachable API and exempt).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders Func or (Recv).Func for reporting.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	var sb strings.Builder
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		sb.WriteString(id.Name)
+		sb.WriteByte('.')
+	}
+	sb.WriteString(d.Name.Name)
+	return sb.String()
+}

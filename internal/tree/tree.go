@@ -16,6 +16,12 @@
 //	MemReq(i) = F(i) + N(i) + Σ_{j ∈ Children(i)} F(j)
 //
 // units of main memory in addition to any other resident files.
+//
+// Trees serialize to the textual .tree wire form (Write/Read, one node per
+// line; NewDecoder streams multi-document corpora), which is how they
+// travel to remote evaluation servers, and Digest computes a canonical,
+// platform-independent content hash that keys the content-addressed result
+// caches of internal/schedule.
 package tree
 
 import (
