@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/hillvalley"
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// benchRecord is one row of BENCH_solver.json: a named micro-benchmark
+// over a generated tree corpus with the standard Go benchmark metrics plus
+// a throughput figure (tree nodes or evaluation rows per second).
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+}
+
+// benchReport is the top-level BENCH_solver.json document.
+type benchReport struct {
+	Description string        `json:"description"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+}
+
+// benchCorpus generates the benchmark trees: one shape per attachment
+// kind at the given node count, deterministic across runs.
+func benchCorpus(nodes int) (map[string]*tree.Tree, error) {
+	shapes := map[string]tree.AttachKind{
+		"uniform":      tree.AttachUniform,
+		"preferential": tree.AttachPreferential,
+		"chainy":       tree.AttachChainy,
+	}
+	out := make(map[string]*tree.Tree, len(shapes))
+	for name, kind := range shapes {
+		rng := rand.New(rand.NewSource(2011))
+		tr, err := tree.Random(rng, tree.RandomOptions{Nodes: nodes, MaxF: 100, MaxN: 40, Attach: kind})
+		if err != nil {
+			return nil, err
+		}
+		out[name] = tr
+	}
+	return out, nil
+}
+
+// record runs fn under testing.Benchmark and converts the result, deriving
+// RowsPerSec from rows processed per op.
+func record(name string, nodes int, rowsPerOp float64, fn func(b *testing.B)) benchRecord {
+	r := testing.Benchmark(fn)
+	rec := benchRecord{
+		Name:        name,
+		Nodes:       nodes,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if rowsPerOp > 0 && rec.NsPerOp > 0 {
+		rec.RowsPerSec = rowsPerOp / (rec.NsPerOp / 1e9)
+	}
+	return rec
+}
+
+// runBench is the -exp bench mode: it benchmarks the solver hot path —
+// the hillvalley kernel (LiuProfile/LiuExact), the unified simulator's
+// peak accounting and Best-K eviction replay, and the local batch
+// evaluator — over generated tree corpora, prints a summary table and
+// writes the records to outPath (BENCH_solver.json), so every future PR
+// can diff the perf trajectory.
+func runBench(w io.Writer, outPath string, nodes int) error {
+	corpus, err := benchCorpus(nodes)
+	if err != nil {
+		return err
+	}
+	report := benchReport{
+		Description: "solver hot-path benchmarks (cmd/experiments -exp bench); ns_per_op and allocs_per_op from testing.Benchmark, rows_per_sec = tree nodes (kernel/simulator) or evaluation rows (batch) per second",
+	}
+	fmt.Fprintf(w, "Solver benchmarks — %d-node corpora, one tree per shape\n", nodes)
+	fmt.Fprintf(w, "  %-34s %14s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "rows/sec")
+	add := func(rec benchRecord) {
+		report.Benchmarks = append(report.Benchmarks, rec)
+		fmt.Fprintf(w, "  %-34s %14.0f %12d %14.0f\n", rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.RowsPerSec)
+	}
+	for _, shape := range []string{"uniform", "preferential", "chainy"} {
+		tr := corpus[shape]
+		p := float64(tr.Len())
+		add(record("liu-profile/"+shape, tr.Len(), p, func(b *testing.B) {
+			var k hillvalley.Kernel
+			var dst []hillvalley.Segment
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = k.Profile(tr, dst[:0])
+			}
+		}))
+		add(record("liu-exact/"+shape, tr.Len(), p, func(b *testing.B) {
+			var k hillvalley.Kernel
+			var order []int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, order = k.Exact(tr, order[:0])
+			}
+		}))
+		order := tr.TopDown()
+		add(record("simulate-peak/"+shape, tr.Len(), p, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Simulate(tr, order, schedule.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		sim, err := schedule.Simulate(tr, order, schedule.Config{})
+		if err != nil {
+			return err
+		}
+		budget := tr.MaxMemReq() + (sim.Peak-tr.MaxMemReq())/2
+		ev, err := schedule.BestK(schedule.BestKWindow)
+		if err != nil {
+			return err
+		}
+		add(record("evict-best-k/"+shape, tr.Len(), p, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Simulate(tr, order, schedule.Config{Memory: budget, Evict: ev}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	// Batch evaluator throughput: a small MinMemory grid on the local
+	// backend, reported as evaluation rows per second.
+	var insts []schedule.Instance
+	for i := 0; i < 6; i++ {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		tr, err := tree.Random(rng, tree.RandomOptions{Nodes: 400, MaxF: 50, MaxN: 20, Attach: tree.AttachKind(i % 3)})
+		if err != nil {
+			return err
+		}
+		insts = append(insts, schedule.Instance{Name: fmt.Sprintf("rand-%d", i), Tree: tr})
+	}
+	jobs := schedule.MinMemoryGrid(insts, []string{"postorder", "liu", "minmem"})
+	add(record("batch-local/minmemory-grid", 0, float64(len(jobs)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (schedule.Local{}).Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	fmt.Fprintln(w)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d benchmark records to %s\n", len(report.Benchmarks), outPath)
+	return nil
+}

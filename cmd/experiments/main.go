@@ -59,7 +59,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | grid | all")
+	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | grid | bench | all (bench runs only when selected explicitly)")
 	scaleName := fs.String("scale", "medium", "dataset scale: small | medium | full")
 	csvDir := fs.String("csv", "", "directory for CSV profile exports (optional)")
 	seeds := fs.Int("seeds", 3, "random-weight copies per tree for table2/fig9")
@@ -72,8 +72,13 @@ func run(args []string, w io.Writer) error {
 	warm := fs.Bool("warm", false, "forward computed rows to sibling server caches (sharded backends)")
 	progress := fs.Bool("progress", false, "report grid progress (completed/total, rows/sec) on stderr")
 	noTime := fs.Bool("notime", false, "zero the seconds column of grid exports, making CSV/JSONL byte-identical across backends and reruns")
+	benchOut := fs.String("bench-out", "BENCH_solver.json", "output path for the -exp bench record file")
+	benchNodes := fs.Int("bench-nodes", 20_000, "tree size of the -exp bench corpora")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *exp == "bench" {
+		return runBench(w, *benchOut, *benchNodes)
 	}
 	var scale dataset.Scale
 	switch *scaleName {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -231,5 +232,49 @@ func TestGridProgress(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), " rows") {
 		t.Fatalf("grid output disturbed:\n%s", sb.String())
+	}
+}
+
+// -exp bench writes a well-formed BENCH_solver.json with the solver
+// hot-path records: the kernel benchmarks must report (near) zero
+// steady-state allocations and a positive throughput.
+func TestBenchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench mode in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_solver.json")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "bench", "-bench-nodes", "500", "-bench-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "liu-profile/uniform") {
+		t.Fatalf("summary table missing kernel rows:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Description string `json:"description"`
+		Benchmarks  []struct {
+			Name        string  `json:"name"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
+			RowsPerSec  float64 `json:"rows_per_sec"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_solver.json is not valid JSON: %v", err)
+	}
+	if len(report.Benchmarks) < 13 {
+		t.Fatalf("only %d benchmark records", len(report.Benchmarks))
+	}
+	for _, b := range report.Benchmarks {
+		if b.NsPerOp <= 0 || b.RowsPerSec <= 0 {
+			t.Errorf("%s: non-positive metrics: %+v", b.Name, b)
+		}
+		if strings.HasPrefix(b.Name, "liu-profile/") && b.AllocsPerOp > 4 {
+			t.Errorf("%s: %d allocs/op, kernel should be (near) allocation-free", b.Name, b.AllocsPerOp)
+		}
 	}
 }

@@ -1,0 +1,67 @@
+package hillvalley
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func benchTree(b *testing.B, nodes int) *tree.Tree {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2011))
+	tr, err := tree.Random(rng, tree.RandomOptions{
+		Nodes: nodes, MaxF: 100, MaxN: 40, Attach: tree.AttachPreferential,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkLiuProfile tracks the kernel's profile pass against the seed
+// implementation it replaced: the Kernel variant reuses arena buffers and
+// the heap merge (no per-node map, no per-node sort allocation), so its
+// allocs/op must stay far below the Reference variant.
+func BenchmarkLiuProfile(b *testing.B) {
+	tr := benchTree(b, 20_000)
+	b.Run("Kernel", func(b *testing.B) {
+		var k Kernel
+		var dst []Segment
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = k.Profile(tr, dst[:0])
+		}
+	})
+	b.Run("Pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Profile(tr)
+		}
+	})
+	b.Run("Reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = refProfile(tr)
+		}
+	})
+}
+
+// BenchmarkLiuExact times the full exact solve (profile + order ropes).
+func BenchmarkLiuExact(b *testing.B) {
+	tr := benchTree(b, 20_000)
+	b.Run("Kernel", func(b *testing.B) {
+		var k Kernel
+		var order []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, order = k.Exact(tr, order[:0])
+		}
+	})
+	b.Run("Reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = refExact(tr)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package hillvalley
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func randomTree(tb testing.TB, seed int64, nodes int) *tree.Tree {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(rng, tree.RandomOptions{
+		Nodes: nodes, MaxF: 15, MaxN: 6, Attach: tree.AttachKind(seed % 3),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// The kernel must be bit-identical to the seed implementation — same
+// profile segments, same minimum memory, same traversal node-for-node —
+// on a large randomized corpus covering all three attachment shapes.
+func TestKernelMatchesReference(t *testing.T) {
+	var k Kernel // one kernel across all trees: buffer reuse must not leak state
+	trees := 0
+	for seed := int64(0); seed < 40; seed++ {
+		for _, nodes := range []int{1, 2, 3, 7, 25, 60} {
+			tr := randomTree(t, seed*997+int64(nodes), nodes)
+			trees++
+			wantProf := refProfile(tr)
+			gotProf := k.Profile(tr, nil)
+			if !reflect.DeepEqual(gotProf, wantProf) {
+				t.Fatalf("seed %d nodes %d: profile %v != reference %v", seed, nodes, gotProf, wantProf)
+			}
+			wantMem, wantOrder := refExact(tr)
+			gotMem, gotOrder := k.Exact(tr, nil)
+			if gotMem != wantMem {
+				t.Fatalf("seed %d nodes %d: memory %d != reference %d", seed, nodes, gotMem, wantMem)
+			}
+			if !reflect.DeepEqual(gotOrder, wantOrder) {
+				t.Fatalf("seed %d nodes %d: order %v != reference %v", seed, nodes, gotOrder, wantOrder)
+			}
+		}
+	}
+	if trees < 100 {
+		t.Fatalf("differential corpus has %d trees, want ≥ 100", trees)
+	}
+}
+
+// The pooled package functions agree with a private kernel.
+func TestPooledEntryPoints(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := randomTree(t, seed, 30)
+		var k Kernel
+		if got, want := Profile(tr), k.Profile(tr, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("pooled profile %v != kernel %v", got, want)
+		}
+		gm, go_ := Exact(tr)
+		km, ko := k.Exact(tr, nil)
+		if gm != km || !reflect.DeepEqual(go_, ko) {
+			t.Fatalf("pooled exact (%d, %v) != kernel (%d, %v)", gm, go_, km, ko)
+		}
+	}
+}
+
+// The exact order is a valid bottom-up traversal whose naively replayed
+// peak equals the reported minimum memory, and no valid traversal found by
+// the kernel can beat the profile's first hill.
+func TestExactOrderIsOptimalCertificate(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		tr := randomTree(t, seed, 4+int(seed%40))
+		mem, order := Exact(tr)
+		if err := tr.IsBottomUpOrder(order); err != nil {
+			t.Fatalf("seed %d: invalid order: %v", seed, err)
+		}
+		if peak := refPeakBottomUp(tr, order); peak != mem {
+			t.Fatalf("seed %d: replayed peak %d != reported memory %d", seed, peak, mem)
+		}
+		prof := Profile(tr)
+		if prof[0].Hill != mem {
+			t.Fatalf("seed %d: first hill %d != memory %d", seed, prof[0].Hill, mem)
+		}
+	}
+}
+
+// Profile invariants: hills non-increasing, valleys non-decreasing, every
+// hill at least its valley, last valley = the root's retained file.
+func TestProfileInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		tr := randomTree(t, seed, 1+int(seed*7%90))
+		prof := Profile(tr)
+		if len(prof) == 0 {
+			t.Fatalf("seed %d: empty profile", seed)
+		}
+		if last := prof[len(prof)-1].Valley; last != tr.F(tr.Root()) {
+			t.Fatalf("seed %d: last valley %d != root file %d", seed, last, tr.F(tr.Root()))
+		}
+		for i, s := range prof {
+			if s.Hill < s.Valley {
+				t.Fatalf("seed %d: segment %d hill %d < valley %d", seed, i, s.Hill, s.Valley)
+			}
+			if i > 0 && (s.Hill > prof[i-1].Hill || s.Valley < prof[i-1].Valley) {
+				t.Fatalf("seed %d: profile not canonical at %d: %v", seed, i, prof)
+			}
+		}
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []Segment
+		want []Segment
+	}{
+		{"empty", nil, nil},
+		{"single", []Segment{{7, 4}}, []Segment{{7, 4}}},
+		{"collapse", []Segment{{5, 3}, {9, 2}, {4, 4}}, []Segment{{9, 2}, {4, 4}}},
+		{"already-canonical", []Segment{{9, 1}, {7, 2}, {5, 3}}, []Segment{{9, 1}, {7, 2}, {5, 3}}},
+		{"rising-hills", []Segment{{3, 1}, {5, 2}, {8, 0}}, []Segment{{8, 0}}},
+		{"plateau", []Segment{{6, 2}, {6, 2}}, []Segment{{6, 2}, {6, 2}}},
+	}
+	for _, c := range cases {
+		if got := Canonicalize(c.raw, nil); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: Canonicalize(%v) = %v, want %v", c.name, c.raw, got, c.want)
+		}
+	}
+	// Appending to a non-nil dst keeps the prefix.
+	dst := []Segment{{1, 1}}
+	out := Canonicalize([]Segment{{5, 2}}, dst)
+	if !reflect.DeepEqual(out, []Segment{{1, 1}, {5, 2}}) {
+		t.Fatalf("append semantics broken: %v", out)
+	}
+}
+
+// Canonicalize agrees with the kernel's internal canonicalization on the
+// per-step memory curve of the kernel's own optimal traversal: replaying
+// the exact order and canonicalizing the step curve reproduces the root
+// profile (Liu's certificate property).
+func TestCanonicalizeOfOptimalReplayIsProfile(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		tr := randomTree(t, seed, 1+int(seed*13%70))
+		_, order := Exact(tr)
+		var resident int64
+		curve := make([]Segment, 0, len(order))
+		for _, i := range order {
+			peak := resident + tr.F(i) + tr.N(i)
+			resident += tr.F(i) - tr.ChildFileSum(i)
+			curve = append(curve, Segment{Hill: peak, Valley: resident})
+		}
+		got := Canonicalize(curve, nil)
+		want := Profile(tr)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: canonicalized replay %v != profile %v", seed, got, want)
+		}
+	}
+}

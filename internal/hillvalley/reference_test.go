@@ -1,0 +1,177 @@
+package hillvalley
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// This file preserves the seed implementation of Liu's profile machinery
+// (internal/traversal/liu.go before the kernel extraction) verbatim, as
+// the reference the differential and fuzz tests pin the kernel against:
+// stable-sort multi-way merge, per-node valley map, pointer ropes.
+
+// refSegment is the seed segment: a hill–valley pair plus the nodes
+// executed during it (as a pointer rope).
+type refSegment struct {
+	hill   int64
+	valley int64
+	nodes  *refRope
+}
+
+// refProfile is the seed LiuProfile: the root profile of the seed combine.
+func refProfile(t *tree.Tree) []Segment {
+	root := refRun(t)
+	out := make([]Segment, len(root))
+	for i, s := range root {
+		out[i] = Segment{Hill: s.hill, Valley: s.valley}
+	}
+	return out
+}
+
+// refExact is the seed LiuExact, returning the minimum memory and the
+// bottom-up traversal (before the top-down reversal the traversal package
+// applies).
+func refExact(t *tree.Tree) (int64, []int) {
+	root := refRun(t)
+	mem := root[0].hill
+	order := make([]int, 0, t.Len())
+	for _, s := range root {
+		order = s.nodes.appendTo(order)
+	}
+	return mem, order
+}
+
+func refRun(t *tree.Tree) []refSegment {
+	profiles := make([][]refSegment, t.Len())
+	for _, v := range t.Postorder() {
+		profiles[v] = refCombine(t, v, profiles)
+	}
+	return profiles[t.Root()]
+}
+
+// refCombine is the seed liuCombine: stable sort on decreasing (h−v) over
+// the children segments gathered in child order, replayed with a
+// per-child valley map.
+func refCombine(t *tree.Tree, v int, profiles [][]refSegment) []refSegment {
+	nc := t.NumChildren(v)
+	if nc == 0 {
+		return []refSegment{{hill: t.MemReq(v), valley: t.F(v), nodes: refLeaf(v)}}
+	}
+	type tagged struct {
+		seg   refSegment
+		child int32
+	}
+	var all []tagged
+	for k := 0; k < nc; k++ {
+		c := t.Child(v, k)
+		for _, s := range profiles[c] {
+			all = append(all, tagged{s, int32(c)})
+		}
+		profiles[c] = nil
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		sa, sb := all[a].seg, all[b].seg
+		return sa.hill-sa.valley > sb.hill-sb.valley
+	})
+	cur := make(map[int32]int64, nc)
+	var base int64
+	raw := make([]refSegment, 0, len(all)+1)
+	for _, ts := range all {
+		prev := cur[ts.child]
+		peakAbs := base - prev + ts.seg.hill
+		base += ts.seg.valley - prev
+		cur[ts.child] = ts.seg.valley
+		raw = append(raw, refSegment{hill: peakAbs, valley: base, nodes: ts.seg.nodes})
+	}
+	raw = append(raw, refSegment{hill: base + t.F(v) + t.N(v), valley: t.F(v), nodes: refLeaf(v)})
+	return refCanonicalize(raw)
+}
+
+// refCanonicalize is the seed canonicalize.
+func refCanonicalize(raw []refSegment) []refSegment {
+	m := len(raw)
+	hillIdx := make([]int32, m)
+	valIdx := make([]int32, m)
+	hillIdx[m-1], valIdx[m-1] = int32(m-1), int32(m-1)
+	for i := m - 2; i >= 0; i-- {
+		if raw[i].hill >= raw[hillIdx[i+1]].hill {
+			hillIdx[i] = int32(i)
+		} else {
+			hillIdx[i] = hillIdx[i+1]
+		}
+		if raw[i].valley <= raw[valIdx[i+1]].valley {
+			valIdx[i] = int32(i)
+		} else {
+			valIdx[i] = valIdx[i+1]
+		}
+	}
+	out := make([]refSegment, 0, 4)
+	i := 0
+	for i < m {
+		a := int(hillIdx[i])
+		b := int(valIdx[a])
+		nodes := raw[i].nodes
+		for j := i + 1; j <= b; j++ {
+			nodes = refConcat(nodes, raw[j].nodes)
+		}
+		out = append(out, refSegment{hill: raw[a].hill, valley: raw[b].valley, nodes: nodes})
+		i = b + 1
+	}
+	return out
+}
+
+// refRope is the seed pointer rope.
+type refRope struct {
+	leafVal     int32
+	isLeaf      bool
+	left, right *refRope
+}
+
+func refLeaf(v int) *refRope { return &refRope{leafVal: int32(v), isLeaf: true} }
+
+func refConcat(a, b *refRope) *refRope {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &refRope{left: a, right: b}
+}
+
+func (r *refRope) appendTo(dst []int) []int {
+	if r == nil {
+		return dst
+	}
+	stack := []*refRope{r}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.isLeaf {
+			dst = append(dst, int(cur.leafVal))
+			continue
+		}
+		if cur.right != nil {
+			stack = append(stack, cur.right)
+		}
+		if cur.left != nil {
+			stack = append(stack, cur.left)
+		}
+	}
+	return dst
+}
+
+// refPeakBottomUp is the naive bottom-up replay: the memory high-water
+// mark of an in-tree traversal, as a from-first-principles loop
+// independent of the schedule simulator.
+func refPeakBottomUp(t *tree.Tree, order []int) int64 {
+	var resident, peak int64
+	for _, i := range order {
+		if need := resident + t.F(i) + t.N(i); need > peak {
+			peak = need
+		}
+		resident += t.F(i) - t.ChildFileSum(i)
+	}
+	return peak
+}

@@ -128,17 +128,24 @@ func Simulate(t *tree.Tree, order []int, m int64, pol Policy) (Result, error) {
 }
 
 // SimulateWithWindow is Simulate with an explicit Best-K subset window
-// (only meaningful for BestKCombination; the paper fixes K = 5). The
-// ablation benchmarks sweep the window to show the quality/cost trade-off.
-// The replay itself is schedule.Simulate, the unified traversal simulator.
+// (ignored by every policy but BestKCombination; the paper fixes K = 5).
+// The ablation benchmarks sweep the window to show the quality/cost
+// trade-off. The replay itself is schedule.Simulate, the unified traversal
+// simulator; window validation lives in the schedule.BestK constructor,
+// which rejects values outside [1, schedule.MaxBestKWindow] — including
+// an explicit 0, which EvictorByName would otherwise map to the default —
+// with a typed *schedule.WindowRangeError.
 func SimulateWithWindow(t *tree.Tree, order []int, m int64, pol Policy, window int) (Result, error) {
 	if pol < LSNF || pol > BestKCombination {
 		return Result{}, fmt.Errorf("minio: unknown eviction policy %d", int(pol))
 	}
-	if window < 1 || window > 20 {
-		return Result{}, fmt.Errorf("minio: Best-K window %d out of range [1,20]", window)
+	var ev schedule.Evictor
+	var err error
+	if pol == BestKCombination {
+		ev, err = schedule.BestK(window)
+	} else {
+		ev, err = schedule.EvictorByName(policyKeys[pol], 0)
 	}
-	ev, err := schedule.EvictorByName(policyKeys[pol], window)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,10 +1,12 @@
 package minio
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/schedule"
 	"repro/internal/traversal"
 	"repro/internal/tree"
 )
@@ -376,5 +378,29 @@ func TestTauRoundTrip(t *testing.T) {
 	}
 	if cnt != len(sim.Writes) {
 		t.Fatalf("tau has %d writes, events %d", cnt, len(sim.Writes))
+	}
+}
+
+// SimulateWithWindow takes the window literally: an explicit 0 (or any
+// out-of-range value) is rejected with the schedule package's typed
+// error rather than silently mapped to the default, and the window is
+// ignored for the non-subset policies.
+func TestSimulateWithWindowValidation(t *testing.T) {
+	tr, err := tree.Harpoon(3, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := tr.TopDown()
+	m := tr.MaxMemReq()
+	for _, window := range []int{0, -2, schedule.MaxBestKWindow + 1} {
+		_, err := SimulateWithWindow(tr, order, m, BestKCombination, window)
+		var wre *schedule.WindowRangeError
+		if !errors.As(err, &wre) || wre.Window != window {
+			t.Fatalf("window %d: error %v, want *schedule.WindowRangeError", window, err)
+		}
+	}
+	// Non-subset policies ignore the window entirely.
+	if _, err := SimulateWithWindow(tr, order, m, LSNF, 0); err != nil {
+		t.Fatalf("LSNF with window 0: %v", err)
 	}
 }

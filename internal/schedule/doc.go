@@ -54,6 +54,21 @@
 // (connection errors, 5xx, truncated streams) per its Retries field
 // without re-announcing rows already delivered.
 //
+// # The simulator and the solver kernel
+//
+// Simulate is the single replay loop behind every evaluation: in-core
+// peak measurement, feasibility checking, and the out-of-core eviction
+// simulation under one of the six greedy policies. The policies are
+// Evictor values constructed by LSNF, FirstFit, BestFit, FirstFill,
+// BestFill and BestK; the Best-K subset search runs as branch-and-bound
+// over the window (bit-identical to the full 2^K enumeration it
+// replaced), and its window is validated once, at construction, with a
+// typed *WindowRangeError. With Config.Profile set, Simulate also
+// canonicalizes the replay's memory curve through the shared
+// internal/hillvalley kernel into Simulation.Profile — on a Liu-optimal
+// bottom-up traversal that decomposition equals Liu's certificate
+// profile exactly.
+//
 // # Caching and warming
 //
 // Cached decorates any backend with a content-addressed row store keyed by

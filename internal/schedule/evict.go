@@ -26,6 +26,25 @@ type Evictor interface {
 // in the paper).
 const BestKWindow = 5
 
+// MaxBestKWindow caps the Best-K subset window: the branch-and-bound
+// search is exact over at most 2^window subsets per eviction, so the cap
+// bounds the worst case.
+const MaxBestKWindow = 20
+
+// WindowRangeError reports a Best-K subset window outside
+// [1, MaxBestKWindow]. A non-positive window would make the subset search
+// vacuous and the fill loop spin; an oversized one explodes the subset
+// space. The window is validated once, when the evictor is constructed.
+type WindowRangeError struct {
+	// Window is the rejected value.
+	Window int
+}
+
+// Error describes the rejected window and the accepted range.
+func (e *WindowRangeError) Error() string {
+	return fmt.Sprintf("schedule: Best-K window %d out of range [1,%d]", e.Window, MaxBestKWindow)
+}
+
 // The six greedy eviction policies of Section V-B.
 type policyKind int
 
@@ -67,21 +86,19 @@ func BestFill() Evictor { return greedyPolicy{kind: kindBestFill, display: "Best
 
 // BestK considers the first window files of S and evicts the non-empty
 // subset whose total size is closest to the remaining requirement, repeating
-// until enough space is freed. The paper fixes window = BestKWindow.
-func BestK(window int) Evictor {
-	return greedyPolicy{kind: kindBestK, display: "Best K Comb.", window: window}
+// until enough space is freed. The paper fixes window = BestKWindow. The
+// window is validated here, once: a *WindowRangeError is returned when it
+// falls outside [1, MaxBestKWindow], and SelectVictims never re-checks.
+func BestK(window int) (Evictor, error) {
+	if window < 1 || window > MaxBestKWindow {
+		return nil, &WindowRangeError{Window: window}
+	}
+	return greedyPolicy{kind: kindBestK, display: "Best K Comb.", window: window}, nil
 }
 
 func (g greedyPolicy) Name() string { return g.display }
 
 func (g greedyPolicy) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, error) {
-	if g.kind == kindBestK && (g.window < 1 || g.window > 20) {
-		// A non-positive window would make the subset search vacuous and
-		// the fill loop spin, an oversized one enumerates 2^window subsets
-		// per eviction; reject both (EvictorByName validates up front, but
-		// BestK is constructible directly).
-		return nil, fmt.Errorf("best-K window %d out of range [1,20]", g.window)
-	}
 	var victims []int
 	take := func(idx int) {
 		victims = append(victims, s[idx])
@@ -179,7 +196,9 @@ func (g greedyPolicy) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, e
 	case kindBestK:
 		// Among the first K files of S, the non-empty subset whose total is
 		// closest to the requirement (ties prefer covering subsets, then
-		// fewer files); repeat until the requirement is met.
+		// fewer files); repeat until the requirement is met. The subset
+		// search is branch-and-bound, exact and bit-identical to a full
+		// 2^K enumeration.
 		for need > 0 {
 			if len(s) == 0 {
 				return nil, ErrNoSpace
@@ -188,29 +207,7 @@ func (g greedyPolicy) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, e
 			if k > g.window {
 				k = g.window
 			}
-			bestMask, bestTotal := 0, int64(0)
-			var bestDiff int64 = 1 << 62
-			for mask := 1; mask < 1<<k; mask++ {
-				var total int64
-				for i := 0; i < k; i++ {
-					if mask&(1<<i) != 0 {
-						total += t.F(s[i])
-					}
-				}
-				d := absDiff(total, need)
-				better := d < bestDiff
-				if d == bestDiff {
-					cover, bestCover := total >= need, bestTotal >= need
-					if cover != bestCover {
-						better = cover
-					} else if popcount(mask) < popcount(bestMask) {
-						better = true
-					}
-				}
-				if better {
-					bestMask, bestTotal, bestDiff = mask, total, d
-				}
-			}
+			bestMask := bestKSubset(t, s[:k], need)
 			// Take from the highest index down so earlier removals do not
 			// shift pending ones.
 			for i := k - 1; i >= 0; i-- {
@@ -226,18 +223,88 @@ func (g greedyPolicy) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, e
 	return victims, nil
 }
 
+// bestKSearch is the branch-and-bound state of one Best-K subset search:
+// the window file sizes, their suffix sums, and the incumbent subset under
+// the policy's total order — smaller |total − need| first, then covering
+// subsets (total ≥ need), then fewer files, then the smaller bitmask. The
+// final tie-break makes the search order irrelevant: the winner is the
+// unique minimum of the total order, exactly the subset a full ascending
+// 2^K enumeration with strict-improvement updates would keep.
+type bestKSearch struct {
+	sizes  [MaxBestKWindow]int64
+	suffix [MaxBestKWindow + 1]int64 // suffix[i] = Σ sizes[i:]
+	need   int64
+	k      int
+
+	bestMask  int
+	bestTotal int64
+	bestDiff  int64
+	bestCount int
+}
+
+// bestKSubset returns the bitmask over window (≤ MaxBestKWindow files of
+// S) of the non-empty subset whose total size is closest to need, with the
+// deterministic tie-break described on bestKSearch.
+func bestKSubset(t *tree.Tree, window []int, need int64) int {
+	var b bestKSearch
+	b.k = len(window)
+	b.need = need
+	for i := b.k - 1; i >= 0; i-- {
+		b.sizes[i] = t.F(window[i])
+		b.suffix[i] = b.suffix[i+1] + b.sizes[i]
+	}
+	b.bestDiff = 1 << 62
+	b.search(0, 0, 0, 0)
+	return b.bestMask
+}
+
+// search explores include/exclude decisions for file i given the partial
+// subset (total, count, mask) over files [0, i). Subtrees are pruned when
+// even the closest reachable total — anywhere in [total, total+suffix[i]]
+// — is strictly farther from need than the incumbent; equality is never
+// pruned, because a tying subset can still win on the cover/count/mask
+// tie-breaks.
+func (b *bestKSearch) search(i int, total int64, count, mask int) {
+	if i == b.k {
+		if count == 0 {
+			return
+		}
+		d := absDiff(total, b.need)
+		better := d < b.bestDiff
+		if d == b.bestDiff {
+			cover, bestCover := total >= b.need, b.bestTotal >= b.need
+			switch {
+			case cover != bestCover:
+				better = cover
+			case count != b.bestCount:
+				better = count < b.bestCount
+			default:
+				better = mask < b.bestMask
+			}
+		}
+		if better {
+			b.bestMask, b.bestTotal, b.bestDiff, b.bestCount = mask, total, d, count
+		}
+		return
+	}
+	lo, hi := total, total+b.suffix[i]
+	var bound int64
+	switch {
+	case b.need < lo:
+		bound = lo - b.need
+	case b.need > hi:
+		bound = b.need - hi
+	}
+	if bound > b.bestDiff {
+		return
+	}
+	b.search(i+1, total+b.sizes[i], count+1, mask|1<<i)
+	b.search(i+1, total, count, mask)
+}
+
 func absDiff(a, b int64) int64 {
 	if a > b {
 		return a - b
 	}
 	return b - a
-}
-
-func popcount(m int) int {
-	c := 0
-	for m != 0 {
-		m &= m - 1
-		c++
-	}
-	return c
 }

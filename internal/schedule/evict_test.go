@@ -1,0 +1,383 @@
+package schedule_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// refBestKEvictor is the seed Best-K victim selection, preserved verbatim:
+// full 2^K subset enumeration in ascending mask order with
+// strict-improvement updates. The branch-and-bound rewrite must stay
+// bit-identical to it.
+type refBestKEvictor struct{ window int }
+
+func (r refBestKEvictor) Name() string { return "Best K Comb. (enumeration)" }
+
+func (r refBestKEvictor) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, error) {
+	var victims []int
+	take := func(idx int) {
+		victims = append(victims, s[idx])
+		need -= t.F(s[idx])
+		s = append(s[:idx], s[idx+1:]...)
+	}
+	popcount := func(m int) int {
+		c := 0
+		for m != 0 {
+			m &= m - 1
+			c++
+		}
+		return c
+	}
+	for need > 0 {
+		if len(s) == 0 {
+			return nil, schedule.ErrNoSpace
+		}
+		k := len(s)
+		if k > r.window {
+			k = r.window
+		}
+		bestMask, bestTotal := 0, int64(0)
+		var bestDiff int64 = 1 << 62
+		for mask := 1; mask < 1<<k; mask++ {
+			var total int64
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					total += t.F(s[i])
+				}
+			}
+			d := total - need
+			if d < 0 {
+				d = -d
+			}
+			better := d < bestDiff
+			if d == bestDiff {
+				cover, bestCover := total >= need, bestTotal >= need
+				if cover != bestCover {
+					better = cover
+				} else if popcount(mask) < popcount(bestMask) {
+					better = true
+				}
+			}
+			if better {
+				bestMask, bestTotal, bestDiff = mask, total, d
+			}
+		}
+		for i := k - 1; i >= 0; i-- {
+			if bestMask&(1<<i) != 0 {
+				take(i)
+			}
+		}
+	}
+	return victims, nil
+}
+
+// starTree builds a root with one child per size, so SelectVictims can be
+// driven directly: S is the list of child node ids.
+func starTree(tb testing.TB, sizes []int64) (*tree.Tree, []int) {
+	tb.Helper()
+	parent := make([]int, len(sizes)+1)
+	f := make([]int64, len(sizes)+1)
+	n := make([]int64, len(sizes)+1)
+	parent[0] = tree.NoParent
+	s := make([]int, len(sizes))
+	for i, size := range sizes {
+		parent[i+1] = 0
+		f[i+1] = size
+		s[i] = i + 1
+	}
+	tr, err := tree.New(parent, f, n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr, s
+}
+
+// mustBestK builds a Best-K evictor or fails the test.
+func mustBestK(tb testing.TB, window int) schedule.Evictor {
+	tb.Helper()
+	ev, err := schedule.BestK(window)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ev
+}
+
+// The branch-and-bound Best-K must return the exact victim sequence of the
+// seed enumeration on randomized windows — ≥ 100 cases across window
+// sizes, size ranges and requirements, including windows wider than S.
+func TestBestKMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := 0
+	for _, window := range []int{1, 2, 3, 5, 8, 12, schedule.MaxBestKWindow} {
+		for trial := 0; trial < 30; trial++ {
+			nfiles := 1 + rng.Intn(25)
+			sizes := make([]int64, nfiles)
+			var total int64
+			for i := range sizes {
+				sizes[i] = 1 + rng.Int63n(40)
+				total += sizes[i]
+			}
+			need := 1 + rng.Int63n(total)
+			tr, s := starTree(t, sizes)
+			got, err := mustBestK(t, window).SelectVictims(tr, append([]int(nil), s...), need)
+			if err != nil {
+				t.Fatalf("window %d trial %d: %v", window, trial, err)
+			}
+			want, err := refBestKEvictor{window}.SelectVictims(tr, append([]int(nil), s...), need)
+			if err != nil {
+				t.Fatalf("window %d trial %d: reference: %v", window, trial, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("window %d sizes %v need %d: victims %v != enumeration %v",
+					window, sizes, need, got, want)
+			}
+			cases++
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d differential cases, want ≥ 100", cases)
+	}
+}
+
+// Full eviction replays through the simulator must also be bit-identical:
+// same I/O, same write schedule, on randomized trees and budgets.
+func TestBestKSimulationMatchesEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		tr := randomTree(t, seed, 10+int(seed*3%40))
+		order := tr.TopDown()
+		lo := tr.MaxMemReq()
+		sim, err := schedule.Simulate(tr, order, schedule.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int64{lo, (lo + sim.Peak) / 2} {
+			for _, window := range []int{1, 3, 5, 9} {
+				got, err := schedule.Simulate(tr, order, schedule.Config{Memory: m, Evict: mustBestK(t, window)})
+				if err != nil {
+					t.Fatalf("seed %d M=%d K=%d: %v", seed, m, window, err)
+				}
+				want, err := schedule.Simulate(tr, order, schedule.Config{Memory: m, Evict: refBestKEvictor{window}})
+				if err != nil {
+					t.Fatalf("seed %d M=%d K=%d: reference: %v", seed, m, window, err)
+				}
+				if got.IO != want.IO || !reflect.DeepEqual(got.Writes, want.Writes) {
+					t.Fatalf("seed %d M=%d K=%d: simulation diverges from enumeration", seed, m, window)
+				}
+			}
+		}
+	}
+}
+
+// FuzzBestKMatchesEnumeration drives the branch-and-bound subset search
+// against the seed enumeration on fuzzed windows and requirements.
+func FuzzBestKMatchesEnumeration(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(10), int64(17))
+	f.Add(int64(9), uint8(12), uint8(30), int64(100))
+	f.Fuzz(func(t *testing.T, seed int64, window, nfiles uint8, need int64) {
+		w := 1 + int(window)%schedule.MaxBestKWindow
+		nf := 1 + int(nfiles)%30
+		rng := rand.New(rand.NewSource(seed))
+		sizes := make([]int64, nf)
+		var total int64
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int63n(50)
+			total += sizes[i]
+		}
+		if need <= 0 {
+			need = 1 - need
+		}
+		need = 1 + need%total
+		tr, s := starTree(t, sizes)
+		got, gotErr := mustBestK(t, w).SelectVictims(tr, append([]int(nil), s...), need)
+		want, wantErr := refBestKEvictor{w}.SelectVictims(tr, append([]int(nil), s...), need)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sizes %v need %d window %d: victims %v != enumeration %v", sizes, need, w, got, want)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Evictor edge cases
+// ---------------------------------------------------------------------------
+
+// allPolicies returns one evictor per registered policy name.
+func allPolicies(t *testing.T) map[string]schedule.Evictor {
+	t.Helper()
+	out := map[string]schedule.Evictor{}
+	for _, name := range schedule.EvictionPolicyNames() {
+		ev, err := schedule.EvictorByName(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = ev
+	}
+	return out
+}
+
+// Every policy returns ErrNoSpace when S cannot cover the requirement —
+// directly and wrapped through the simulator.
+func TestEveryPolicyErrNoSpace(t *testing.T) {
+	tr, s := starTree(t, []int64{3, 2, 1})
+	for name, ev := range allPolicies(t) {
+		_, err := ev.SelectVictims(tr, append([]int(nil), s...), 100)
+		if !errors.Is(err, schedule.ErrNoSpace) {
+			t.Errorf("%s: error %v, want ErrNoSpace", name, err)
+		}
+		// And with an empty S.
+		if _, err := ev.SelectVictims(tr, nil, 1); !errors.Is(err, schedule.ErrNoSpace) {
+			t.Errorf("%s: empty S: error %v, want ErrNoSpace", name, err)
+		}
+	}
+	// Through the simulator: a budget below the root child's MemReq cannot
+	// be saved by any eviction.
+	deep := tree.MustNew([]int{tree.NoParent, 0, 1}, []int64{1, 8, 9}, []int64{1, 1, 1})
+	for name, ev := range allPolicies(t) {
+		_, err := schedule.Simulate(deep, []int{0, 1, 2}, schedule.Config{Memory: deep.MaxMemReq() - 1, Evict: ev})
+		if !errors.Is(err, schedule.ErrNoSpace) {
+			t.Errorf("%s: simulate error %v, want ErrNoSpace in chain", name, err)
+		}
+	}
+}
+
+// Zero-size files never enter S: the simulator's snapshot excludes them,
+// so no policy is ever offered one and no write schedule contains one.
+func TestZeroSizeFilesExcludedFromS(t *testing.T) {
+	// The minio policy-scenario shape: root children with sizes (zeros
+	// interleaved) plus a heavy X→Y branch scheduled right after the root,
+	// so X's execution forces an eviction while every root file is
+	// resident.
+	files := []int64{0, 5, 0, 4, 3}
+	var sum int64
+	parent := []int{tree.NoParent}
+	f := []int64{0}
+	n := []int64{0}
+	for _, size := range files {
+		parent = append(parent, 0)
+		f = append(f, size)
+		n = append(n, 0)
+		sum += size
+	}
+	x := len(parent)
+	parent, f, n = append(parent, 0), append(f, 1), append(n, 0)
+	y := len(parent)
+	parent, f, n = append(parent, x), append(f, 10), append(n, 0)
+	tr := tree.MustNew(parent, f, n)
+	const need = 5
+	m := sum + 1 + 10 - need
+	order := []int{0, x, y}
+	for k := len(files); k >= 1; k-- {
+		order = append(order, k)
+	}
+	sawS := false
+	for name, ev := range allPolicies(t) {
+		probe := probeEvictor{inner: ev, onS: func(s []int) {
+			sawS = true
+			for _, v := range s {
+				if tr.F(v) == 0 {
+					t.Errorf("%s: zero-size file %d offered to the policy", name, v)
+				}
+			}
+		}}
+		sim, err := schedule.Simulate(tr, order, schedule.Config{Memory: m, Evict: probe})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sim.Writes) == 0 {
+			t.Fatalf("%s: scenario did not evict", name)
+		}
+		for _, w := range sim.Writes {
+			if w.Size == 0 {
+				t.Errorf("%s: zero-size write %+v", name, w)
+			}
+		}
+	}
+	if !sawS {
+		t.Fatal("scenario never triggered an eviction; S was never observed")
+	}
+}
+
+// probeEvictor observes every S snapshot before delegating.
+type probeEvictor struct {
+	inner schedule.Evictor
+	onS   func([]int)
+}
+
+func (p probeEvictor) Name() string { return p.inner.Name() }
+
+func (p probeEvictor) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, error) {
+	p.onS(s)
+	return p.inner.SelectVictims(t, s, need)
+}
+
+// A Best-K window wider than S degrades gracefully to the full subset
+// search over S and picks the same victims as an exactly-fitting window.
+func TestBestKWindowWiderThanS(t *testing.T) {
+	sizes := []int64{7, 3, 5, 2}
+	for _, need := range []int64{1, 6, 8, 11, 17} {
+		tr, s := starTree(t, sizes)
+		wide, err := mustBestK(t, schedule.MaxBestKWindow).SelectVictims(tr, append([]int(nil), s...), need)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight, err := mustBestK(t, len(sizes)).SelectVictims(tr, append([]int(nil), s...), need)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wide, tight) {
+			t.Fatalf("need %d: wide-window victims %v != exact-window %v", need, wide, tight)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark: branch-and-bound versus the seed enumeration
+// ---------------------------------------------------------------------------
+
+// BenchmarkBestKEvict replays a large eviction-heavy traversal under the
+// Best-K policy: BranchAndBound is the production branch-and-bound search,
+// Enumeration the seed 2^K subset scan it replaced. Both must produce the
+// same schedule (pinned by TestBestKSimulationMatchesEnumeration); the
+// benchmark tracks the search cost at the paper's window and at a wide
+// window where pruning dominates.
+func BenchmarkBestKEvict(b *testing.B) {
+	rng := rand.New(rand.NewSource(2011))
+	tr, err := tree.Random(rng, tree.RandomOptions{Nodes: 20_000, MaxF: 100, MaxN: 40, Attach: tree.AttachPreferential})
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := tr.TopDown()
+	sim, err := schedule.Simulate(tr, order, schedule.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := tr.MaxMemReq() + (sim.Peak-tr.MaxMemReq())/2
+	for _, window := range []int{schedule.BestKWindow, 15} {
+		bb := mustBestK(b, window)
+		en := refBestKEvictor{window}
+		b.Run(fmt.Sprintf("BranchAndBound/K%d", window), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Simulate(tr, order, schedule.Config{Memory: budget, Evict: bb}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Enumeration/K%d", window), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Simulate(tr, order, schedule.Config{Memory: budget, Evict: en}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -208,12 +208,11 @@ func EvictionPolicyNames() []string {
 
 // EvictorByName builds the eviction policy registered under one of the six
 // policy names; window applies to "best-k" only (0 selects BestKWindow).
+// Window validation happens once, in the BestK constructor, which returns
+// a *WindowRangeError for values outside [1, MaxBestKWindow].
 func EvictorByName(name string, window int) (Evictor, error) {
 	if window == 0 {
 		window = BestKWindow
-	}
-	if window < 1 || window > 20 {
-		return nil, fmt.Errorf("schedule: Best-K window %d out of range [1,20]", window)
 	}
 	switch name {
 	case "lsnf":
@@ -227,7 +226,7 @@ func EvictorByName(name string, window int) (Evictor, error) {
 	case "best-fill":
 		return BestFill(), nil
 	case "best-k":
-		return BestK(window), nil
+		return BestK(window)
 	default:
 		return nil, fmt.Errorf("schedule: unknown eviction policy %q (known: %s)", name, strings.Join(evictionPolicyNames, ", "))
 	}

@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/hillvalley"
 	"repro/internal/tree"
 )
 
@@ -55,6 +56,10 @@ type Config struct {
 	// Evict, when non-nil, is invoked whenever the next node does not fit;
 	// nil turns overflow into an error (feasibility checking).
 	Evict Evictor
+	// Profile, when set, records the replay's memory curve — one
+	// (peak, end-valley) pair per executed node — and canonicalizes it
+	// through the hillvalley kernel into Simulation.Profile.
+	Profile bool
 }
 
 // WriteEvent records one eviction: before executing order[Step], the input
@@ -74,6 +79,11 @@ type Simulation struct {
 	IO int64
 	// Writes lists the evictions in execution order.
 	Writes []WriteEvent
+	// Profile is the canonical hill–valley decomposition of the replay's
+	// memory curve (only recorded with Config.Profile): hills
+	// non-increasing, valleys non-decreasing, first hill = Peak. For an
+	// optimal bottom-up traversal it equals Liu's certificate profile.
+	Profile []hillvalley.Segment
 }
 
 // Simulate replays order over t under cfg. It is the single source of truth
@@ -90,7 +100,7 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 		mem = Unlimited
 	}
 	if cfg.Direction == BottomUp {
-		return simulateBottomUp(t, order, mem, cfg.Evict)
+		return simulateBottomUp(t, order, mem, cfg.Evict, cfg.Profile)
 	}
 	if err := t.IsTopDownOrder(order); err != nil {
 		return Simulation{}, err
@@ -114,6 +124,10 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 	// still held in memory. Initially the root's input file is resident.
 	residentSum := t.F(t.Root())
 	var out Simulation
+	var curve []hillvalley.Segment
+	if cfg.Profile {
+		curve = make([]hillvalley.Segment, 0, len(order))
+	}
 	for step, j := range order {
 		if !evicting || !onDisk[j] {
 			// The input file of j is resident; it is about to be consumed,
@@ -146,7 +160,8 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 				return out, fmt.Errorf("schedule: step %d (node %d): policy %s freed too little", step, j, cfg.Evict.Name())
 			}
 		}
-		if used := residentSum + t.MemReq(j); used > out.Peak {
+		used := residentSum + t.MemReq(j)
+		if used > out.Peak {
 			out.Peak = used
 		}
 		if evicting && onDisk[j] {
@@ -162,6 +177,12 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 				return out, fmt.Errorf("schedule: internal accounting error at step %d", step)
 			}
 		}
+		if cfg.Profile {
+			curve = append(curve, hillvalley.Segment{Hill: used, Valley: residentSum})
+		}
+	}
+	if cfg.Profile {
+		out.Profile = hillvalley.Canonicalize(curve, nil)
 	}
 	return out, nil
 }
@@ -169,7 +190,7 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 // simulateBottomUp replays an in-tree order: resident memory is the files
 // produced and not yet consumed by their parents. Eviction is defined on the
 // top-down view only (Section V); use tree.ReverseOrder to convert.
-func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor) (Simulation, error) {
+func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor, profile bool) (Simulation, error) {
 	if ev != nil {
 		return Simulation{}, fmt.Errorf("schedule: eviction requires a top-down traversal")
 	}
@@ -178,6 +199,10 @@ func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor) (Simulat
 	}
 	var resident int64 // Σ files produced and not yet consumed
 	var out Simulation
+	var curve []hillvalley.Segment
+	if profile {
+		curve = make([]hillvalley.Segment, 0, len(order))
+	}
 	for step, i := range order {
 		// While processing i, the children files are still resident (part
 		// of resident), and f(i) + n(i) come alive.
@@ -189,6 +214,12 @@ func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor) (Simulat
 			return out, fmt.Errorf("schedule: step %d (node %d): needs %d, budget %d", step, i, need, mem)
 		}
 		resident += t.F(i) - t.ChildFileSum(i)
+		if profile {
+			curve = append(curve, hillvalley.Segment{Hill: need, Valley: resident})
+		}
+	}
+	if profile {
+		out.Profile = hillvalley.Canonicalize(curve, nil)
 	}
 	return out, nil
 }

@@ -1,7 +1,9 @@
 package schedule_test
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/minio"
@@ -331,21 +333,58 @@ func TestSimulateRejects(t *testing.T) {
 	if _, err := schedule.Simulate(tr, order, schedule.Config{Memory: tr.MaxMemReq() - 1, Evict: schedule.LSNF()}); err == nil {
 		t.Fatal("budget below MaxMemReq accepted")
 	}
-	// A directly constructed Best-K evictor with a vacuous window must
-	// error when asked for victims, not spin or panic.
-	var candidate int
-	for i := 0; i < tr.Len(); i++ {
-		if tr.F(i) > 0 {
-			candidate = i
-			break
-		}
-	}
-	for _, window := range []int{0, -1} {
-		if _, err := schedule.BestK(window).SelectVictims(tr, []int{candidate}, 1); err == nil {
-			t.Fatalf("Best-K window %d accepted", window)
+	// A vacuous Best-K window is rejected at construction time with the
+	// typed error — it can no longer reach SelectVictims.
+	for _, window := range []int{0, -1, schedule.MaxBestKWindow + 1} {
+		_, err := schedule.BestK(window)
+		var wre *schedule.WindowRangeError
+		if !errors.As(err, &wre) || wre.Window != window {
+			t.Fatalf("Best-K window %d: error %v, want *WindowRangeError", window, err)
 		}
 	}
 	if _, err := schedule.EvictorByName("best-k", 21); err == nil {
 		t.Fatal("Best-K window 21 accepted")
+	}
+}
+
+// Config.Profile: the simulator's hill–valley decomposition (computed by
+// the shared hillvalley kernel) is canonical, starts at the peak, and on
+// the Liu-optimal bottom-up traversal reproduces Liu's certificate
+// profile exactly.
+func TestSimulateProfile(t *testing.T) {
+	for _, tr := range testTrees(t) {
+		res := traversal.LiuExact(tr)
+		bu := tree.ReverseOrder(res.Order) // back to the in-tree view
+		sim, err := schedule.Simulate(tr, bu, schedule.Config{Direction: schedule.BottomUp, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := traversal.LiuProfile(tr); !reflect.DeepEqual(sim.Profile, want) {
+			t.Fatalf("replay profile %v != Liu certificate %v", sim.Profile, want)
+		}
+		if sim.Profile[0].Hill != sim.Peak {
+			t.Fatalf("first hill %d != peak %d", sim.Profile[0].Hill, sim.Peak)
+		}
+		// Top-down: the profile is canonical and anchored at the peak.
+		td, err := schedule.Simulate(tr, res.Order, schedule.Config{Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td.Profile[0].Hill != td.Peak {
+			t.Fatalf("top-down first hill %d != peak %d", td.Profile[0].Hill, td.Peak)
+		}
+		for i := 1; i < len(td.Profile); i++ {
+			if td.Profile[i].Hill > td.Profile[i-1].Hill || td.Profile[i].Valley < td.Profile[i-1].Valley {
+				t.Fatalf("top-down profile not canonical: %v", td.Profile)
+			}
+		}
+		// Without the flag the profile stays nil.
+		plain, err := schedule.Simulate(tr, res.Order, schedule.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Profile != nil {
+			t.Fatalf("profile recorded without Config.Profile: %v", plain.Profile)
+		}
 	}
 }

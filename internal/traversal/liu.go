@@ -1,8 +1,7 @@
 package traversal
 
 import (
-	"sort"
-
+	"repro/internal/hillvalley"
 	"repro/internal/tree"
 )
 
@@ -20,32 +19,21 @@ import (
 // re-canonicalization. The minimum memory of the whole tree is the first
 // hill of the root profile. Worst-case complexity O(p²).
 //
-// The computation runs in the bottom-up (in-tree) view and the resulting
-// traversal is reversed, so the returned Result is top-down like the other
-// algorithms.
+// The profile machinery lives in the shared internal/hillvalley kernel
+// (heap-based k-way merge over pooled arenas); this function adapts it to
+// the package's Result type. The computation runs in the bottom-up
+// (in-tree) view and the resulting traversal is reversed, so the returned
+// Result is top-down like the other algorithms.
 func LiuExact(t *tree.Tree) Result {
-	p := t.Len()
-	profiles := make([][]segment, p)
-	for _, v := range t.Postorder() {
-		profiles[v] = liuCombine(t, v, profiles)
-	}
-	root := profiles[t.Root()]
-	// Hill of the first canonical segment is the subtree's minimum memory.
-	mem := root[0].hill
-	order := make([]int, 0, p)
-	for _, s := range root {
-		order = s.nodes.appendTo(order)
-	}
+	mem, order := hillvalley.Exact(t)
 	return Result{Memory: mem, Order: tree.ReverseOrder(order)}
 }
 
 // ProfileSegment is one canonical hill–valley segment of a subtree's memory
 // profile under an optimal traversal: memory rises to Hill during the
-// segment and can be parked at Valley when it ends.
-type ProfileSegment struct {
-	Hill   int64
-	Valley int64
-}
+// segment and can be parked at Valley when it ends. It is the kernel's
+// segment type.
+type ProfileSegment = hillvalley.Segment
 
 // LiuProfile exposes Liu's canonical hill–valley decomposition for the
 // whole tree (bottom-up view): hills are non-increasing, valleys
@@ -53,153 +41,5 @@ type ProfileSegment struct {
 // valley is the root's retained file. It is the certificate structure
 // behind LiuExact.
 func LiuProfile(t *tree.Tree) []ProfileSegment {
-	profiles := make([][]segment, t.Len())
-	for _, v := range t.Postorder() {
-		profiles[v] = liuCombine(t, v, profiles)
-	}
-	root := profiles[t.Root()]
-	out := make([]ProfileSegment, len(root))
-	for i, s := range root {
-		out[i] = ProfileSegment{Hill: s.hill, Valley: s.valley}
-	}
-	return out
-}
-
-// segment is one hill–valley segment of a memory profile, together with the
-// nodes executed during it (as a rope, to keep concatenation cheap).
-type segment struct {
-	hill   int64
-	valley int64
-	nodes  *rope
-}
-
-// liuCombine builds the canonical profile of the subtree rooted at v given
-// the profiles of its children, releasing the children profiles.
-func liuCombine(t *tree.Tree, v int, profiles [][]segment) []segment {
-	nc := t.NumChildren(v)
-	if nc == 0 {
-		return []segment{{hill: t.MemReq(v), valley: t.F(v), nodes: leafRope(v)}}
-	}
-	// Gather all children segments, tagged with their child of origin, in
-	// child order. Within one child, (h−v) is non-increasing by canonical
-	// construction, so a stable sort on decreasing (h−v) preserves each
-	// child's internal order — this is the multi-way merge.
-	type tagged struct {
-		seg   segment
-		child int32
-	}
-	var all []tagged
-	for k := 0; k < nc; k++ {
-		c := t.Child(v, k)
-		for _, s := range profiles[c] {
-			all = append(all, tagged{s, int32(c)})
-		}
-		profiles[c] = nil // release
-	}
-	sort.SliceStable(all, func(a, b int) bool {
-		sa, sb := all[a].seg, all[b].seg
-		return sa.hill-sa.valley > sb.hill-sb.valley
-	})
-	// Replay the merged segments, tracking each child's current valley to
-	// turn subtree-local hills into absolute peaks.
-	cur := make(map[int32]int64, nc)
-	var base int64 // Σ current valleys over all children
-	raw := make([]segment, 0, len(all)+1)
-	for _, ts := range all {
-		prev := cur[ts.child]
-		peakAbs := base - prev + ts.seg.hill
-		base += ts.seg.valley - prev
-		cur[ts.child] = ts.seg.valley
-		raw = append(raw, segment{hill: peakAbs, valley: base, nodes: ts.seg.nodes})
-	}
-	// The node's own step: all children files resident (base = Σ f_c), plus
-	// f(v) and n(v); afterwards only f(v) remains.
-	raw = append(raw, segment{hill: base + t.F(v) + t.N(v), valley: t.F(v), nodes: leafRope(v)})
-	return canonicalize(raw)
-}
-
-// canonicalize turns an execution-ordered list of (peak, end-valley)
-// segments into the canonical hill–valley form: hills are suffix maxima,
-// valleys the suffix minima that follow them. Segment node lists are
-// concatenated accordingly.
-func canonicalize(raw []segment) []segment {
-	m := len(raw)
-	// First index of the suffix maximum hill and of the suffix minimum
-	// valley, computed right to left so the whole pass is O(m).
-	hillIdx := make([]int32, m)
-	valIdx := make([]int32, m)
-	hillIdx[m-1], valIdx[m-1] = int32(m-1), int32(m-1)
-	for i := m - 2; i >= 0; i-- {
-		if raw[i].hill >= raw[hillIdx[i+1]].hill {
-			hillIdx[i] = int32(i)
-		} else {
-			hillIdx[i] = hillIdx[i+1]
-		}
-		if raw[i].valley <= raw[valIdx[i+1]].valley {
-			valIdx[i] = int32(i)
-		} else {
-			valIdx[i] = valIdx[i+1]
-		}
-	}
-	out := make([]segment, 0, 4)
-	i := 0
-	for i < m {
-		// Canonical hill: max peak over the suffix, at its first occurrence
-		// a. Canonical valley: min end-valley at or after a, at its first
-		// occurrence b. Segments [i, b] collapse into one canonical segment.
-		a := int(hillIdx[i])
-		b := int(valIdx[a])
-		nodes := raw[i].nodes
-		for j := i + 1; j <= b; j++ {
-			nodes = concatRopes(nodes, raw[j].nodes)
-		}
-		out = append(out, segment{hill: raw[a].hill, valley: raw[b].valley, nodes: nodes})
-		i = b + 1
-	}
-	return out
-}
-
-// rope is an immutable concatenation tree over node IDs; it makes profile
-// merging O(1) per concatenation and flattening O(total nodes).
-type rope struct {
-	leafVal     int32
-	isLeaf      bool
-	left, right *rope
-}
-
-func leafRope(v int) *rope { return &rope{leafVal: int32(v), isLeaf: true} }
-
-func concatRopes(a, b *rope) *rope {
-	if a == nil {
-		return b
-	}
-	if b == nil {
-		return a
-	}
-	return &rope{left: a, right: b}
-}
-
-// appendTo flattens the rope into dst in left-to-right order.
-func (r *rope) appendTo(dst []int) []int {
-	if r == nil {
-		return dst
-	}
-	// Explicit stack: ropes can be deep on chain-like trees.
-	stack := []*rope{r}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if cur.isLeaf {
-			dst = append(dst, int(cur.leafVal))
-			continue
-		}
-		// Push right first so left is emitted first.
-		if cur.right != nil {
-			stack = append(stack, cur.right)
-		}
-		if cur.left != nil {
-			stack = append(stack, cur.left)
-		}
-	}
-	return dst
+	return hillvalley.Profile(t)
 }
