@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"testing"
 
 	"repro/internal/hillvalley"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/tree"
 )
 
@@ -83,7 +85,7 @@ func runBench(w io.Writer, outPath string, nodes int) error {
 		return err
 	}
 	report := benchReport{
-		Description: "solver hot-path benchmarks (cmd/experiments -exp bench); ns_per_op and allocs_per_op from testing.Benchmark, rows_per_sec = tree nodes (kernel/simulator) or evaluation rows (batch) per second",
+		Description: "solver hot-path benchmarks (cmd/experiments -exp bench); ns_per_op and allocs_per_op from testing.Benchmark, rows_per_sec = tree nodes (kernel/simulator) or evaluation rows (batch) per second; batch-local is the cold solver-bound path, batch-local-binary streams the same grid from a warmed cache through the pooled chunk engine into the framed binary row form, batch-remote-{json,binary} contrast the two transports over one warmed server",
 	}
 	fmt.Fprintf(w, "Solver benchmarks — %d-node corpora, one tree per shape\n", nodes)
 	fmt.Fprintf(w, "  %-34s %14s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "rows/sec")
@@ -157,6 +159,46 @@ func runBench(w io.Writer, outPath string, nodes int) error {
 			}
 		}
 	}))
+	// The allocation-free batch spine: the same grid answered from a warmed
+	// content-addressed cache and streamed through the pooled chunk engine
+	// into the framed binary row form. The cold batch-local path above is
+	// solver-bound; this entry isolates the row-serving machinery the binary
+	// wire format exists for.
+	cached := schedule.NewCached(schedule.Local{}, nil)
+	if _, err := cached.Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		return err
+	}
+	add(record("batch-local-binary/minmemory-grid", 0, float64(len(jobs)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := schedule.NewBinaryRowSink(io.Discard)
+			if err := cached.Stream(context.Background(), schedule.SliceSource(jobs), sink, schedule.StreamOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// Remote throughput over the same warmed cache, JSON vs binary: the
+	// contrast is pure transport (encoding, HTTP framing, decoding).
+	srv := httptest.NewServer(service.NewServerWith(service.ServerOptions{Backend: cached}).Handler())
+	defer srv.Close()
+	for _, mode := range []struct {
+		name   string
+		binary bool
+	}{{"batch-remote-json/minmemory-grid", false}, {"batch-remote-binary/minmemory-grid", true}} {
+		client := service.NewClient(srv.URL, nil)
+		client.Binary = mode.binary
+		add(record(mode.name, 0, float64(len(jobs)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
 	fmt.Fprintln(w)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -68,6 +68,7 @@ func run(args []string, w io.Writer) error {
 	backendSpec := fs.String("backend", "local", "grid evaluation backend: local | cached | scheduled-server URL(s); a comma-separated URL list shards the grid across the servers")
 	cachePath := fs.String("cache", "", "JSONL row-store path for -backend cached (empty = in-memory)")
 	retries := fs.Int("retries", 2, "per-chunk submission retries for remote backends (transient errors only)")
+	binary := fs.Bool("binary", false, "use the binary batch transport for remote backends (all servers must understand it)")
 	shardPolicy := fs.String("shard-policy", "adaptive", "chunk dispatch policy for sharded backends: adaptive | roundrobin")
 	warm := fs.Bool("warm", false, "forward computed rows to sibling server caches (sharded backends)")
 	progress := fs.Bool("progress", false, "report grid progress (completed/total, rows/sec) on stderr")
@@ -235,7 +236,7 @@ func run(args []string, w io.Writer) error {
 		cfg := gridConfig{
 			algos: *algos, workers: *workers, csvDir: *csvDir,
 			backend: *backendSpec, cachePath: *cachePath, retries: *retries,
-			shardPolicy: *shardPolicy, warm: *warm,
+			binary: *binary, shardPolicy: *shardPolicy, warm: *warm,
 			progress: *progress, noTime: *noTime,
 		}
 		if err := runGrid(w, insts, cfg); err != nil {
@@ -253,6 +254,7 @@ type gridConfig struct {
 	backend     string
 	cachePath   string
 	retries     int
+	binary      bool
 	shardPolicy string
 	warm        bool
 	progress    bool
@@ -274,6 +276,7 @@ func newBackend(cfg gridConfig) (schedule.Backend, func() error, error) {
 		}
 		c := service.NewClient(url, nil)
 		c.Retries = cfg.retries
+		c.Binary = cfg.binary
 		return c, nil
 	}
 	spec := cfg.backend

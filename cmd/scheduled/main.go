@@ -5,19 +5,23 @@
 // batches without linking the solvers.
 //
 // With -cache the server evaluates through a content-addressed result
-// cache persisted as a JSONL store, so repeated grids over the same
-// instances are answered without re-running the algorithms. -cache-max
-// bounds the store: beyond that many rows the least-recently-used entries
-// are evicted (and the file compacts down to the bound when the server next
-// loads it), so a long-lived server's store does not grow without bound.
-// The same store backs the /v1/warm endpoint: rows a shard (or a sibling
-// server) computed elsewhere are pushed in and answer later batches here,
-// so a fleet of cached servers converges on one warm working set.
+// cache persisted as a row store, so repeated grids over the same
+// instances are answered without re-running the algorithms. -cache-format
+// selects the store file form: "jsonl" (the default, line-per-entry text)
+// or "binary" (the framed binary wire form — smaller and cheaper to load,
+// same contents bit for bit). -cache-max bounds the store: beyond that many
+// rows the least-recently-used entries are evicted (and the file compacts
+// down to the bound when the server next loads it), so a long-lived
+// server's store does not grow without bound. The same store backs the
+// /v1/warm endpoint: rows a shard (or a sibling server) computed elsewhere
+// are pushed in and answer later batches here, so a fleet of cached servers
+// converges on one warm working set.
 //
 // Usage:
 //
 //	scheduled -addr 127.0.0.1:8080
 //	scheduled -addr :9090 -workers 8 -cache rows.jsonl -cache-max 100000
+//	scheduled -addr :9091 -cache rows.bin -cache-format binary
 //	scheduled -list
 package main
 
@@ -54,8 +58,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scheduled", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", 0, "per-batch worker-pool bound (0 = GOMAXPROCS)")
-	cache := fs.String("cache", "", "JSONL row-store path; evaluate through a content-addressed result cache")
+	cache := fs.String("cache", "", "row-store path; evaluate through a content-addressed result cache")
 	cacheMax := fs.Int("cache-max", 0, "row-store entry bound: LRU-evict beyond this many rows (0 = unbounded)")
+	cacheFormat := fs.String("cache-format", "jsonl", "row-store file form: jsonl or binary")
 	list := fs.Bool("list", false, "list the registered algorithms and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,10 +77,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	var backend schedule.Backend = schedule.Local{}
 	var cached *schedule.Cached
-	var store *schedule.JSONLStore
+	var store schedule.RowStore
 	if *cache != "" {
-		var err error
-		store, err = schedule.OpenJSONLStoreWith(*cache, schedule.StoreOptions{MaxEntries: *cacheMax})
+		format, err := schedule.ParseStoreFormat(*cacheFormat)
+		if err != nil {
+			return err
+		}
+		store, err = schedule.OpenRowStore(*cache, schedule.StoreOptions{MaxEntries: *cacheMax, Format: format})
 		if err != nil {
 			return err
 		}

@@ -126,6 +126,51 @@ func TestServeWithCache(t *testing.T) {
 	}
 }
 
+// -cache-format binary persists the store in the framed wire form and a
+// binary-transport client reads the served rows bit-identically to JSON.
+func TestServeWithBinaryCacheAndTransport(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "rows.bin")
+	base, shutdown := startScheduled(t, "-cache", cache, "-cache-format", "binary")
+	h, err := tree.NestedHarpoon(2, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "h", Tree: h, Algorithm: "postorder"},
+		{Instance: "h", Tree: h, Algorithm: "minmem"},
+	}
+	jsonClient := service.NewClient(base, nil)
+	first, err := jsonClient.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binClient := service.NewClient(base, nil)
+	binClient.Binary = true
+	second, err := binClient.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		a.Seconds, b.Seconds = 0, 0
+		if a != b {
+			t.Fatalf("binary replay of row %d not bit-identical: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	out := shutdown()
+	if !strings.Contains(out, "2 cache hits, 2 misses") {
+		t.Fatalf("shutdown did not report cache counters:\n%s", out)
+	}
+	store, err := schedule.OpenRowStore(cache, schedule.StoreOptions{Format: schedule.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 2 {
+		t.Fatalf("binary store reopened with %d rows, want 2", store.Len())
+	}
+}
+
 func TestListAndErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run(context.Background(), []string{"-list"}, &sb); err != nil {
@@ -141,6 +186,9 @@ func TestListAndErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &sb); err == nil {
 		t.Fatal("bad address accepted")
+	}
+	if err := run(context.Background(), []string{"-cache", "x", "-cache-format", "bogus"}, &sb); err == nil {
+		t.Fatal("bad cache format accepted")
 	}
 }
 

@@ -57,9 +57,12 @@ func (Local) Capabilities() Capabilities { return Capabilities{Name: "local"} }
 
 // Run implements Backend. Algorithms are deterministic and jobs are
 // independent, so the rows are bit-identical to a sequential run; only the
-// Seconds column varies. The first failing job cancels the rest.
+// Seconds column varies. The first failing job cancels the rest. The
+// returned slice is drawn from the stream engine's row pool, so the
+// streaming merge can recycle it after the sink consumes the chunk; callers
+// that keep the slice simply never return it to the pool.
 func (Local) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, error) {
-	rows := make([]Row, len(jobs))
+	rows := getRowSlice(len(jobs))
 	var mu sync.Mutex
 	err := runner.ForEach(ctx, len(jobs), opt.Workers, func(i int) error {
 		row, err := runJob(jobs[i])

@@ -71,6 +71,72 @@ type StoreOptions struct {
 	// advances. The JSONL store additionally compacts its file down to the
 	// bound on load.
 	MaxEntries int
+	// Format selects the on-disk encoding opened by OpenRowStore:
+	// FormatJSONL (the default) or FormatBinary. In-memory stores ignore it.
+	Format StoreFormat
+}
+
+// StoreFormat names an on-disk row store encoding.
+type StoreFormat int
+
+// The on-disk row store encodings.
+const (
+	// FormatJSONL is the append-only JSON Lines store (JSONLStore), the
+	// default: one {"key": …, "row": …} object per line, greppable and
+	// line-healable.
+	FormatJSONL StoreFormat = iota
+	// FormatBinary is the length-prefixed binary store (BinaryStore): the
+	// same entries in the binary row wire form, appended without per-row
+	// json.Marshal.
+	FormatBinary
+)
+
+// String returns the format's flag spelling ("jsonl" or "binary").
+func (f StoreFormat) String() string {
+	switch f {
+	case FormatJSONL:
+		return "jsonl"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("StoreFormat(%d)", int(f))
+	}
+}
+
+// ParseStoreFormat parses a -cache-format flag value.
+func ParseStoreFormat(s string) (StoreFormat, error) {
+	switch s {
+	case "", "jsonl":
+		return FormatJSONL, nil
+	case "binary":
+		return FormatBinary, nil
+	default:
+		return 0, fmt.Errorf("schedule: unknown store format %q (want jsonl or binary)", s)
+	}
+}
+
+// RowStore is the interface of the file-backed row stores (JSONLStore and
+// BinaryStore): a Store that must be closed to flush and compact, plus the
+// shared observability accessors.
+type RowStore interface {
+	Store
+	Close() error
+	Len() int
+	Evictions() int64
+}
+
+// OpenRowStore opens (creating if absent) the file-backed store at path in
+// the encoding selected by opt.Format. Both encodings share the same
+// load/heal/compact semantics; they differ only in how entries sit on disk.
+func OpenRowStore(path string, opt StoreOptions) (RowStore, error) {
+	switch opt.Format {
+	case FormatJSONL:
+		return OpenJSONLStoreWith(path, opt)
+	case FormatBinary:
+		return OpenBinaryStoreWith(path, opt)
+	default:
+		return nil, fmt.Errorf("schedule: unknown store format %d", int(opt.Format))
+	}
 }
 
 // lruRows is the shared bounded map behind both stores: a key→row map with
@@ -391,7 +457,9 @@ func (c *Cached) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, 
 		}
 		return d
 	}
-	rows := make([]Row, len(jobs))
+	// Drawn from the stream engine's row pool, like Local.Run, so warmed
+	// streaming chunks recycle their row slices through the merge loop.
+	rows := getRowSlice(len(jobs))
 	keys := make([]string, len(jobs))
 	var missIdx []int
 	for i, j := range jobs {

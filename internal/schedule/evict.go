@@ -99,7 +99,14 @@ func BestK(window int) (Evictor, error) {
 func (g greedyPolicy) Name() string { return g.display }
 
 func (g greedyPolicy) SelectVictims(t *tree.Tree, s []int, need int64) ([]int, error) {
-	var victims []int
+	return g.selectVictimsAppend(t, s, need, nil)
+}
+
+// selectVictimsAppend is SelectVictims appending into dst, the simulator's
+// fast path: with a pooled dst (and a pooled s) a steady-state eviction
+// selects its victims without allocating.
+func (g greedyPolicy) selectVictimsAppend(t *tree.Tree, s []int, need int64, dst []int) ([]int, error) {
+	victims := dst
 	take := func(idx int) {
 		victims = append(victims, s[idx])
 		need -= t.F(s[idx])

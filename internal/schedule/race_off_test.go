@@ -1,0 +1,7 @@
+//go:build !race
+
+package schedule
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; its allocations would fail the allocation pins.
+const raceEnabled = false

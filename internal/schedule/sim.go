@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/hillvalley"
 	"repro/internal/tree"
@@ -86,6 +87,58 @@ type Simulation struct {
 	Profile []hillvalley.Segment
 }
 
+// simScratch is the pooled per-simulation arena (the schedule-side cousin
+// of the hillvalley kernel pool): position buffer, resident set, eviction
+// snapshot, victim list, write log and profile curve, all recycled across
+// Simulate calls so a steady-state replay allocates nothing. Results that
+// outlive the call (Writes, Profile) are sealed into exact-size copies
+// before the scratch returns to the pool.
+type simScratch struct {
+	pos     []int
+	onDisk  []bool
+	set     ResidentSet
+	snap    []int
+	victims []int
+	writes  []WriteEvent
+	curve   []hillvalley.Segment
+}
+
+var simScratches = sync.Pool{New: func() any { return new(simScratch) }}
+
+// positions validates order as a traversal of t in the given orientation
+// and returns each node's schedule step, reusing the pooled buffer. On an
+// invalid order it reports ok = false without building an error — the
+// caller reproduces the canonical message via IsTopDownOrder/IsBottomUpOrder
+// on that cold path.
+func (scr *simScratch) positions(t *tree.Tree, order []int, bottomUp bool) (pos []int, ok bool) {
+	p := t.Len()
+	if len(order) != p {
+		return nil, false
+	}
+	if cap(scr.pos) < p {
+		scr.pos = make([]int, p)
+	}
+	pos = scr.pos[:p]
+	for i := range pos {
+		pos[i] = -1
+	}
+	for step, v := range order {
+		if v < 0 || v >= p || pos[v] != -1 {
+			return nil, false
+		}
+		pos[v] = step
+	}
+	for i := 0; i < p; i++ {
+		if i == t.Root() {
+			continue
+		}
+		if pp := pos[t.Parent(i)]; (bottomUp && pp < pos[i]) || (!bottomUp && pp > pos[i]) {
+			return nil, false
+		}
+	}
+	return pos, true
+}
+
 // Simulate replays order over t under cfg. It is the single source of truth
 // for memory and I/O accounting: the traversal package's peak computation
 // and feasibility checker and the minio package's policy simulation all
@@ -99,35 +152,55 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 	if mem <= 0 {
 		mem = Unlimited
 	}
+	scr := simScratches.Get().(*simScratch)
+	scr.writes = scr.writes[:0]
+	scr.curve = scr.curve[:0]
+	var (
+		out Simulation
+		err error
+	)
 	if cfg.Direction == BottomUp {
-		return simulateBottomUp(t, order, mem, cfg.Evict, cfg.Profile)
+		out, err = simulateBottomUp(t, order, mem, cfg.Evict, cfg.Profile, scr)
+	} else {
+		out, err = simulateTopDown(t, order, mem, cfg, scr)
 	}
-	if err := t.IsTopDownOrder(order); err != nil {
-		return Simulation{}, err
+	// Seal everything that outlives the call out of the recycled scratch.
+	if len(scr.writes) > 0 {
+		out.Writes = append([]WriteEvent(nil), scr.writes...)
+	}
+	if err == nil && cfg.Profile {
+		out.Profile = hillvalley.Canonicalize(scr.curve, nil)
+	}
+	simScratches.Put(scr)
+	return out, err
+}
+
+func simulateTopDown(t *tree.Tree, order []int, mem int64, cfg Config, scr *simScratch) (Simulation, error) {
+	pos, ok := scr.positions(t, order, false)
+	if !ok {
+		return Simulation{}, t.IsTopDownOrder(order)
 	}
 	evicting := cfg.Evict != nil
+	gp, fastEvict := cfg.Evict.(greedyPolicy)
 	var (
 		set    *ResidentSet
 		onDisk []bool
 	)
 	if evicting {
 		p := t.Len()
-		pos := make([]int, p) // consumer step of each node's input file
-		for step, v := range order {
-			pos[v] = step
-		}
-		set = NewResidentSet(pos)
+		scr.set = ResidentSet{pos: pos, nodes: scr.set.nodes[:0]}
+		set = &scr.set
 		set.Add(t.Root())
-		onDisk = make([]bool, p)
+		if cap(scr.onDisk) < p {
+			scr.onDisk = make([]bool, p)
+		}
+		onDisk = scr.onDisk[:p]
+		clear(onDisk)
 	}
 	// residentSum tracks the input files of scheduled-but-unprocessed nodes
 	// still held in memory. Initially the root's input file is resident.
 	residentSum := t.F(t.Root())
 	var out Simulation
-	var curve []hillvalley.Segment
-	if cfg.Profile {
-		curve = make([]hillvalley.Segment, 0, len(order))
-	}
 	for step, j := range order {
 		if !evicting || !onDisk[j] {
 			// The input file of j is resident; it is about to be consumed,
@@ -145,7 +218,17 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 			if !evicting {
 				return out, fmt.Errorf("schedule: step %d (node %d): needs %d, budget %d", step, j, need, mem)
 			}
-			victims, err := cfg.Evict.SelectVictims(t, set.snapshotPositive(t), need-mem)
+			scr.snap = set.appendPositive(t, scr.snap[:0])
+			var (
+				victims []int
+				err     error
+			)
+			if fastEvict {
+				victims, err = gp.selectVictimsAppend(t, scr.snap, need-mem, scr.victims[:0])
+				scr.victims = victims[:0:cap(victims)]
+			} else {
+				victims, err = cfg.Evict.SelectVictims(t, scr.snap, need-mem)
+			}
 			if err != nil {
 				return out, fmt.Errorf("schedule: step %d (node %d): %w", step, j, err)
 			}
@@ -154,7 +237,7 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 				residentSum -= t.F(v)
 				onDisk[v] = true
 				out.IO += t.F(v)
-				out.Writes = append(out.Writes, WriteEvent{Step: step, Node: v, Size: t.F(v)})
+				scr.writes = append(scr.writes, WriteEvent{Step: step, Node: v, Size: t.F(v)})
 			}
 			if residentSum+t.MemReq(j) > mem {
 				return out, fmt.Errorf("schedule: step %d (node %d): policy %s freed too little", step, j, cfg.Evict.Name())
@@ -178,11 +261,8 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 			}
 		}
 		if cfg.Profile {
-			curve = append(curve, hillvalley.Segment{Hill: used, Valley: residentSum})
+			scr.curve = append(scr.curve, hillvalley.Segment{Hill: used, Valley: residentSum})
 		}
-	}
-	if cfg.Profile {
-		out.Profile = hillvalley.Canonicalize(curve, nil)
 	}
 	return out, nil
 }
@@ -190,19 +270,15 @@ func Simulate(t *tree.Tree, order []int, cfg Config) (Simulation, error) {
 // simulateBottomUp replays an in-tree order: resident memory is the files
 // produced and not yet consumed by their parents. Eviction is defined on the
 // top-down view only (Section V); use tree.ReverseOrder to convert.
-func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor, profile bool) (Simulation, error) {
+func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor, profile bool, scr *simScratch) (Simulation, error) {
 	if ev != nil {
 		return Simulation{}, fmt.Errorf("schedule: eviction requires a top-down traversal")
 	}
-	if err := t.IsBottomUpOrder(order); err != nil {
-		return Simulation{}, err
+	if _, ok := scr.positions(t, order, true); !ok {
+		return Simulation{}, t.IsBottomUpOrder(order)
 	}
 	var resident int64 // Σ files produced and not yet consumed
 	var out Simulation
-	var curve []hillvalley.Segment
-	if profile {
-		curve = make([]hillvalley.Segment, 0, len(order))
-	}
 	for step, i := range order {
 		// While processing i, the children files are still resident (part
 		// of resident), and f(i) + n(i) come alive.
@@ -215,11 +291,8 @@ func simulateBottomUp(t *tree.Tree, order []int, mem int64, ev Evictor, profile 
 		}
 		resident += t.F(i) - t.ChildFileSum(i)
 		if profile {
-			curve = append(curve, hillvalley.Segment{Hill: need, Valley: resident})
+			scr.curve = append(scr.curve, hillvalley.Segment{Hill: need, Valley: resident})
 		}
-	}
-	if profile {
-		out.Profile = hillvalley.Canonicalize(curve, nil)
 	}
 	return out, nil
 }
@@ -262,11 +335,16 @@ func (s *ResidentSet) Ordered() []int { return s.nodes }
 // snapshotPositive returns a fresh copy of S with zero-size files dropped:
 // the eviction candidates (writing a zero-size file frees nothing).
 func (s *ResidentSet) snapshotPositive(t *tree.Tree) []int {
-	out := make([]int, 0, len(s.nodes))
+	return s.appendPositive(t, make([]int, 0, len(s.nodes)))
+}
+
+// appendPositive is snapshotPositive appending into dst, so the simulator
+// can reuse one snapshot buffer across evictions.
+func (s *ResidentSet) appendPositive(t *tree.Tree, dst []int) []int {
 	for _, v := range s.nodes {
 		if t.F(v) > 0 {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }

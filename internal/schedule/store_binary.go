@@ -1,0 +1,240 @@
+package schedule
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The binary row store is the FormatBinary sibling of JSONLStore: the same
+// append-only key→row entries, but in the binary row wire form so a Put
+// costs no json.Marshal. The file is
+//
+//	WireMagic, 'S', RowStoreVersion
+//	per entry: uvarint payload length,
+//	           payload = uvarint key length + key bytes + AppendRow(row)
+//
+// Unlike JSON Lines, a length-prefixed stream cannot resynchronize after a
+// damaged entry, so healing keeps every entry before the first corruption
+// and compacts the rest away (a truncated tail after a crash — the common
+// damage — loses only the torn entry, exactly like the JSONL store).
+
+// rowStoreKind is the stream-type byte of a binary row store file.
+const rowStoreKind = 'S'
+
+// RowStoreVersion is the current (and only) binary row store version.
+const RowStoreVersion = 1
+
+// BinaryStore is a Store persisted as an append-only length-prefixed binary
+// file, optionally bounded (StoreOptions). It shares the JSONL store's
+// load/heal/compact life cycle; construct with OpenBinaryStoreWith.
+type BinaryStore struct {
+	mu      sync.Mutex
+	lru     *lruRows
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	scratch []byte
+	closed  bool
+}
+
+// OpenBinaryStore opens (creating if absent) the unbounded binary store at
+// path; see OpenBinaryStoreWith.
+func OpenBinaryStore(path string) (*BinaryStore, error) {
+	return OpenBinaryStoreWith(path, StoreOptions{})
+}
+
+// OpenBinaryStoreWith opens (creating if absent) the binary store at path
+// and loads every entry into memory, with the same semantics as
+// OpenJSONLStoreWith: a truncated or corrupt tail keeps the surviving
+// entries and compacts the file, and MaxEntries trims an over-budget file
+// to the newest rows on load. One deliberate difference: a non-empty file
+// that is not a binary row store at all (wrong magic — say a JSONL store
+// opened with the wrong -cache-format) is an error rather than healable
+// damage, so a format mix-up cannot silently erase a good cache.
+func OpenBinaryStoreWith(path string, opt StoreOptions) (*BinaryStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("schedule: read row store: %w", err)
+	}
+	lru := newLRURows(opt.MaxEntries)
+	damaged := false
+	if len(data) > 0 {
+		if len(data) < 3 || data[0] != WireMagic || data[1] != rowStoreKind {
+			return nil, fmt.Errorf("schedule: %s is not a binary row store (open it as jsonl, or remove it)", path)
+		}
+		if data[2] != RowStoreVersion {
+			return nil, fmt.Errorf("schedule: unsupported binary row store version %d (want %d)", data[2], RowStoreVersion)
+		}
+		data = data[3:]
+	} else {
+		// A fresh or empty file gets its header on the first append.
+		damaged = len(data) == 0 && err == nil
+	}
+	loaded := 0
+	d := rowDecoder{intern: make(map[string]string)}
+	for len(data) > 0 {
+		key, row, rest, err := decodeStoreEntry(&d, data)
+		if err != nil {
+			// First damaged entry: keep the survivors, drop the rest — the
+			// stream cannot resync past it.
+			damaged = true
+			break
+		}
+		data = rest
+		lru.put(key, row)
+		loaded++
+	}
+	// Load-time trimming is compaction, not eviction (see the JSONL store).
+	compacted := lru.evicted > 0
+	lru.evicted = 0
+	if damaged || compacted || loaded > len(lru.m) {
+		if err := rewriteBinary(path, lru); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: open row store: %w", err)
+	}
+	s := &BinaryStore{lru: lru, path: path, f: f, w: bufio.NewWriter(f)}
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		if _, err := s.w.Write([]byte{WireMagic, rowStoreKind, RowStoreVersion}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("schedule: open row store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// appendStoreEntry serializes one key→row entry (length prefix included).
+func appendStoreEntry(dst []byte, key string, row Row) []byte {
+	// Encode the payload after a reserved gap, then fill the length in; the
+	// payload length always fits MaxVarintLen64 bytes.
+	start := len(dst)
+	dst = append(dst, make([]byte, binary.MaxVarintLen64)...)
+	dst = appendString(dst, key)
+	dst = AppendRow(dst, row)
+	payload := len(dst) - start - binary.MaxVarintLen64
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(payload))
+	// Slide the payload onto the length prefix to close the gap.
+	copy(dst[start+n:], dst[start+binary.MaxVarintLen64:])
+	copy(dst[start:], lenBuf[:n])
+	return dst[:start+n+payload]
+}
+
+// decodeStoreEntry parses one entry from the front of data.
+func decodeStoreEntry(d *rowDecoder, data []byte) (string, Row, []byte, error) {
+	payloadLen, data, err := decodeUvarint(data)
+	if err != nil {
+		return "", Row{}, nil, fmt.Errorf("schedule: binary row store entry has a malformed length")
+	}
+	if payloadLen > uint64(len(data)) || payloadLen > maxRowFrame {
+		return "", Row{}, nil, fmt.Errorf("schedule: binary row store entry length %d does not fit", payloadLen)
+	}
+	payload, rest := data[:payloadLen], data[payloadLen:]
+	keyBytes, payload, err := decodeBytes(payload)
+	if err != nil || len(keyBytes) == 0 {
+		return "", Row{}, nil, fmt.Errorf("schedule: binary row store entry has a malformed key")
+	}
+	row, payload, err := d.decode(payload)
+	if err != nil {
+		return "", Row{}, nil, err
+	}
+	if len(payload) != 0 {
+		return "", Row{}, nil, fmt.Errorf("schedule: binary row store entry has %d trailing bytes", len(payload))
+	}
+	return d.str(keyBytes), row, rest, nil
+}
+
+// rewriteBinary atomically replaces the store file with the surviving
+// entries, oldest first, so a reload sees the same recency order.
+func rewriteBinary(path string, lru *lruRows) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	buf := []byte{WireMagic, rowStoreKind, RowStoreVersion}
+	for e := lru.order.Back(); e != nil; e = e.Prev() {
+		entry := e.Value.(*lruEntry)
+		buf = appendStoreEntry(buf, entry.key, entry.row)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("schedule: compact row store: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *BinaryStore) Get(key string) (Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.get(key)
+}
+
+// Put implements Store: the entry is recorded in memory (evicting the
+// least-recently-used row when over MaxEntries) and appended to the file in
+// the binary wire form — no marshalling allocations on the steady state,
+// the scratch buffer is reused across puts.
+func (s *BinaryStore) Put(key string, row Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lru.put(key, row)
+	s.scratch = appendStoreEntry(s.scratch[:0], key, row)
+	if _, err := s.w.Write(s.scratch); err != nil {
+		return fmt.Errorf("schedule: append row store: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of cached rows resident in memory.
+func (s *BinaryStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lru.m)
+}
+
+// Evictions returns the number of rows evicted by the MaxEntries bound
+// since the store was opened.
+func (s *BinaryStore) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.evicted
+}
+
+// Close flushes pending appends and closes the file; a bounded store
+// compacts on the way out, exactly like the JSONL store. Closing an already
+// closed store is a no-op.
+func (s *BinaryStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if s.lru.max > 0 {
+		return rewriteBinary(s.path, s.lru)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package schedule_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestParseStoreFormat(t *testing.T) {
+	for in, want := range map[string]schedule.StoreFormat{
+		"": schedule.FormatJSONL, "jsonl": schedule.FormatJSONL, "binary": schedule.FormatBinary,
+	} {
+		got, err := schedule.ParseStoreFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStoreFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() != "jsonl" && got.String() != "binary" {
+			t.Errorf("StoreFormat(%v).String() = %q", got, got.String())
+		}
+	}
+	if _, err := schedule.ParseStoreFormat("protobuf"); err == nil {
+		t.Error("ParseStoreFormat accepted an unknown format")
+	}
+}
+
+// The binary store is a drop-in JSONLStore sibling: the full cold/warm/
+// corrupt/heal life cycle of TestJSONLStoreAndCorruptionRecovery holds,
+// with the one binary-specific difference that healing keeps the entries
+// before the damage (a length-prefixed stream cannot resynchronize past
+// it).
+func TestBinaryStoreAndCorruptionRecovery(t *testing.T) {
+	jobs := gridJobs(t)
+	path := filepath.Join(t.TempDir(), "rows.bin")
+	opt := schedule.StoreOptions{Format: schedule.FormatBinary}
+
+	store, err := schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := schedule.NewCached(schedule.Local{}, store).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: fully warm, zero algorithm runs, bit-identical rows.
+	store, err = schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(jobs) {
+		t.Fatalf("reopened store holds %d rows, want %d", store.Len(), len(jobs))
+	}
+	counting := &countingBackend{inner: schedule.Local{}}
+	warm, err := schedule.NewCached(counting, store).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Fatalf("row %d not replayed bit-identically from disk: %+v vs %+v", i, warm[i], cold[i])
+		}
+	}
+	if got := counting.jobs.Load(); got != 0 {
+		t.Fatalf("warm disk run executed %d algorithm runs, want 0", got)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file mid-entry, as a crash during an append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err = schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatalf("torn store must open, got %v", err)
+	}
+	if store.Len() >= len(jobs) || store.Len() == 0 {
+		t.Fatalf("torn store holds %d rows, want a strict non-empty subset of %d", store.Len(), len(jobs))
+	}
+	counting = &countingBackend{inner: schedule.Local{}}
+	recovered, err := schedule.NewCached(counting, store).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsNoTime(t, cold, recovered, "recovered vs cold")
+	if got := counting.jobs.Load(); got == 0 || got >= int64(len(jobs)) {
+		t.Fatalf("recovery run executed %d algorithm runs, want only the damaged subset (0 < n < %d)", got, len(jobs))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The heal must stick: the torn tail was compacted away, so yet another
+	// open holds every row and a rerun is fully warm.
+	store, err = schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != len(jobs) {
+		t.Fatalf("healed store holds %d rows after reopen, want %d", store.Len(), len(jobs))
+	}
+	counting = &countingBackend{inner: schedule.Local{}}
+	if _, err := schedule.NewCached(counting, store).Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.jobs.Load(); got != 0 {
+		t.Fatalf("healed store still re-ran %d jobs", got)
+	}
+}
+
+// A format mix-up must not erase a good cache: a JSONL file opened as
+// binary is an error, not healable damage.
+func TestBinaryStoreRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+	js, err := schedule.OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Put("k", schedule.Row{Instance: "i"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.OpenRowStore(path, schedule.StoreOptions{Format: schedule.FormatBinary}); err == nil {
+		t.Fatal("binary open of a JSONL store must fail")
+	}
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("rejected open damaged the JSONL file: %d bytes, %v", len(data), err)
+	}
+}
+
+func TestBinaryStoreBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.bin")
+	opt := schedule.StoreOptions{Format: schedule.FormatBinary, MaxEntries: 4}
+	store, err := schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := store.Put(fmt.Sprintf("key-%d", i), schedule.Row{Instance: fmt.Sprintf("i%d", i), Memory: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != 4 {
+		t.Fatalf("bounded store holds %d rows, want 4", store.Len())
+	}
+	if store.Evictions() != 6 {
+		t.Fatalf("bounded store evicted %d rows, want 6", store.Evictions())
+	}
+	// Bump key-6 so the close-time compaction keeps it over key-7.
+	if _, ok := store.Get("key-6"); !ok {
+		t.Fatal("key-6 missing before close")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err = schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 4 {
+		t.Fatalf("reopened bounded store holds %d rows, want 4", store.Len())
+	}
+	// The compaction preserved recency order, so the next eviction drops
+	// key-7 (oldest untouched), not the Get-bumped key-6.
+	if err := store.Put("key-10", schedule.Row{Instance: "i10"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"key-6", "key-8", "key-9", "key-10"} {
+		if _, ok := store.Get(key); !ok {
+			t.Errorf("%s missing after compacting reopen", key)
+		}
+	}
+	if _, ok := store.Get("key-7"); ok {
+		t.Error("key-7 survived although key-6 was more recently used")
+	}
+}
+
+// Both on-disk formats are the same store: identical puts produce identical
+// gets, across a close/reopen cycle, for every row either can hold.
+func TestRowStoreFormatsEquivalent(t *testing.T) {
+	dir := t.TempDir()
+	stores := map[schedule.StoreFormat]schedule.RowStore{}
+	for _, format := range []schedule.StoreFormat{schedule.FormatJSONL, schedule.FormatBinary} {
+		s, err := schedule.OpenRowStore(filepath.Join(dir, "rows."+format.String()), schedule.StoreOptions{Format: format})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[format] = s
+	}
+	rows := []schedule.Row{
+		{Instance: "a", Algorithm: "minmem", Kind: "minmemory", Memory: 42, Seconds: 0.125},
+		{Instance: "b", Algorithm: "evict-best-3", Kind: "minio", Budget: 9, IO: 17, Writes: 3, Seconds: 1e-9},
+		{},
+	}
+	for fmtName, s := range stores {
+		for i, r := range rows {
+			if err := s.Put(fmt.Sprintf("key-%d", i), r); err != nil {
+				t.Fatalf("%v: %v", fmtName, err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopened := map[schedule.StoreFormat]schedule.RowStore{}
+	for format := range stores {
+		s, err := schedule.OpenRowStore(filepath.Join(dir, "rows."+format.String()), schedule.StoreOptions{Format: format})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		reopened[format] = s
+	}
+	for i, want := range rows {
+		key := fmt.Sprintf("key-%d", i)
+		j, okJ := reopened[schedule.FormatJSONL].Get(key)
+		b, okB := reopened[schedule.FormatBinary].Get(key)
+		if !okJ || !okB {
+			t.Fatalf("%s missing after reopen (jsonl %v, binary %v)", key, okJ, okB)
+		}
+		if j != b || b != want {
+			t.Fatalf("%s diverged across formats: jsonl %+v, binary %+v, want %+v", key, j, b, want)
+		}
+	}
+}

@@ -120,6 +120,14 @@ type RunFunc func(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, err
 // chunks exist at any moment — read from the source but not yet drained into
 // the sink — so peak resident jobs and rows are bounded by
 // ChunkSize × InFlight regardless of the stream length.
+//
+// The engine recycles its chunk machinery: the job slice passed to run and
+// the row slice run returns go back to internal pools once the chunk's rows
+// reach the sink, so chunk residency costs a constant pool of buffers
+// instead of fresh allocations per chunk. run must therefore not retain
+// either slice past its return (every backend in the repository already
+// behaves this way; rows and jobs are plain values, so sinks and stores
+// keeping pushed rows are unaffected).
 func StreamChunked(ctx context.Context, run RunFunc, src JobSource, sink RowSink, opt StreamOptions) error {
 	chunkSize, inFlight := opt.chunking(2)
 	return streamChunks(ctx, src, sink, chunkSize, inFlight, func(ctx context.Context, _ int, jobs []Job) ([]Row, error) {
@@ -127,28 +135,102 @@ func StreamChunked(ctx context.Context, run RunFunc, src JobSource, sink RowSink
 	})
 }
 
+// streamResult is one chunk's outcome, delivered on its pooled result
+// channel.
+type streamResult struct {
+	jobs int
+	rows []Row
+	err  error
+}
+
+// streamWork is one dispatched chunk: its global job offset, the pooled job
+// buffer, and the channel its result is owed on.
+type streamWork struct {
+	start int
+	jobs  *[]Job
+	rc    chan streamResult
+}
+
+// The streaming engine's pools: job chunk buffers, row slices and result
+// channels, recycled across chunks and across streams (the generalization
+// of the hillvalley kernel and simScratch arenas to the batch spine). Row
+// slices circulate through Run implementations — Local and Cached draw
+// their result slices from getRowSlice — and return to the pool in the
+// merge loop once the sink has consumed the chunk.
+var (
+	jobChunks = sync.Pool{New: func() any {
+		p := make([]Job, 0, DefaultChunkSize)
+		return &p
+	}}
+	rowSlices   = sync.Pool{New: func() any { return new([]Row) }}
+	resultChans = sync.Pool{New: func() any { return make(chan streamResult, 1) }}
+)
+
+// putJobChunk clears the buffer (dropping tree and order references) and
+// returns it to the pool.
+func putJobChunk(p *[]Job) {
+	clear(*p)
+	*p = (*p)[:0]
+	jobChunks.Put(p)
+}
+
+// getRowSlice returns a length-n row slice from the stream engine's pool.
+// The caller owns it; slices handed back via putRowSlice recirculate.
+func getRowSlice(n int) []Row {
+	p := rowSlices.Get().(*[]Row)
+	s := *p
+	if cap(s) < n {
+		return make([]Row, n)
+	}
+	return s[:n]
+}
+
+// putRowSlice clears the slice (dropping its string references) and returns
+// it to the pool. Only an owner that got the slice from a Run it fully
+// consumed may call this.
+func putRowSlice(rows []Row) {
+	clear(rows)
+	rows = rows[:0]
+	rowSlices.Put(&rows)
+}
+
 // streamChunks is the shared streaming engine behind every Backend.Stream:
 // an ordered fan-out/fan-in pipeline. The dispatcher acquires an in-flight
-// slot before reading each chunk (bounding read-ahead), evaluates chunks on
-// worker goroutines, and the merge loop drains per-chunk result channels in
-// dispatch order, releasing the slot only after the chunk's rows reach the
-// sink — so ChunkSize × InFlight bounds everything resident at once. eval
-// receives each chunk's global job offset within the stream, so evaluators
-// can report failures by source index (the Shard's ChunkError).
+// slot before reading each chunk (bounding read-ahead) and hands chunks to
+// a fixed pool of inFlight evaluation workers; the merge loop drains
+// per-chunk result channels in dispatch order, releasing the slot only
+// after the chunk's rows reach the sink — so ChunkSize × InFlight bounds
+// everything resident at once, and the pooled job/row/channel buffers make
+// that residency allocation-free in the steady state. eval receives each
+// chunk's global job offset within the stream, so evaluators can report
+// failures by source index (the Shard's ChunkError).
 func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, inFlight int, eval func(ctx context.Context, start int, jobs []Job) ([]Row, error)) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type result struct {
-		jobs int
-		rows []Row
-		err  error
-	}
 	sem := make(chan struct{}, inFlight)
-	order := make(chan chan result, inFlight)
+	order := make(chan chan streamResult, inFlight)
+	work := make(chan streamWork)
+
+	// Fixed worker pool, one goroutine per in-flight slot. A worker finishes
+	// a chunk by sending on its buffered result channel (never blocking), so
+	// every worker is reusable the moment its evaluation returns, and the
+	// sem bound guarantees at most inFlight chunks are ever awaiting a
+	// worker — the unbuffered work channel cannot deadlock the dispatcher.
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			for w := range work {
+				rows, err := eval(ctx, w.start, *w.jobs)
+				n := len(*w.jobs)
+				putJobChunk(w.jobs)
+				w.rc <- streamResult{jobs: n, rows: rows, err: err}
+			}
+		}()
+	}
 
 	go func() {
 		defer close(order)
+		defer close(work)
 		offset := 0
 		for {
 			select {
@@ -156,23 +238,28 @@ func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, i
 			case <-ctx.Done():
 				return
 			}
-			jobs, err := readChunk(src, chunkSize)
+			jp := jobChunks.Get().(*[]Job)
+			jobs, err := readChunk(src, chunkSize, (*jp)[:0])
+			*jp = jobs
 			if err != nil {
-				rc := make(chan result, 1)
-				rc <- result{err: err}
+				putJobChunk(jp)
+				rc := resultChans.Get().(chan streamResult)
+				rc <- streamResult{err: err}
 				order <- rc
 				return
 			}
 			if len(jobs) == 0 {
+				putJobChunk(jp)
 				return
 			}
 			start := offset
 			offset += len(jobs)
-			rc := make(chan result, 1)
-			go func() {
-				rows, err := eval(ctx, start, jobs)
-				rc <- result{jobs: len(jobs), rows: rows, err: err}
-			}()
+			rc := resultChans.Get().(chan streamResult)
+			select {
+			case work <- streamWork{start: start, jobs: jp, rc: rc}:
+			case <-ctx.Done():
+				return
+			}
 			order <- rc
 		}
 	}()
@@ -180,17 +267,27 @@ func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, i
 	var firstErr error
 	for rc := range order {
 		res := <-rc
+		// The channel's one send has been received, so it is empty and its
+		// worker is done with it: safe to recirculate. Channels abandoned on
+		// the abort path below are left to the garbage collector — a
+		// straggler may still send on them.
+		resultChans.Put(rc)
 		switch {
 		case res.err != nil:
 			firstErr = res.err
 		case len(res.rows) != res.jobs:
 			firstErr = fmt.Errorf("schedule: stream chunk returned %d rows for %d jobs", len(res.rows), res.jobs)
 		default:
+			pushed := true
 			for _, row := range res.rows {
 				if err := sink.Push(row); err != nil {
 					firstErr = err
+					pushed = false
 					break
 				}
+			}
+			if pushed {
+				putRowSlice(res.rows)
 			}
 		}
 		<-sem
@@ -199,8 +296,8 @@ func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, i
 			// be blocked in src.Next() (a pipe source with no data yet) and
 			// must not hold the error hostage. cancel() (deferred) winds it
 			// and the workers down; nothing but this loop touches the sink,
-			// and the bounded order/sem capacities mean no send ever blocks
-			// forever, so the stragglers exit on their own.
+			// and the bounded order/sem/work capacities mean no send ever
+			// blocks forever, so the stragglers exit on their own.
 			return firstErr
 		}
 	}
@@ -210,13 +307,14 @@ func streamChunks(ctx context.Context, src JobSource, sink RowSink, chunkSize, i
 	return ctx.Err()
 }
 
-// readChunk pulls up to n jobs from src.
-func readChunk(src JobSource, n int) ([]Job, error) {
-	var jobs []Job
+// readChunk pulls up to n jobs from src, appending into the pooled buffer.
+// On a source error the partially filled buffer comes back with the error
+// so the caller can still recycle it.
+func readChunk(src JobSource, n int, jobs []Job) ([]Job, error) {
 	for len(jobs) < n {
 		j, ok, err := src.Next()
 		if err != nil {
-			return nil, err
+			return jobs, err
 		}
 		if !ok {
 			break

@@ -1,0 +1,168 @@
+package schedule_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/schedule"
+)
+
+var wireRows = []schedule.Row{
+	{},
+	{Instance: "u400", Algorithm: "minmem", Kind: "minmemory", Budget: 0, Memory: 1234, IO: 0, Writes: 0, Seconds: 0.25},
+	{Instance: "i-1", Algorithm: "evict-best-3", Kind: "minio", Budget: 900, Memory: 900, IO: 4217, Writes: 31, Seconds: 1e-9},
+	{Instance: strings.Repeat("x", 300), Algorithm: "", Kind: "k", Budget: -5, Memory: math.MaxInt64, IO: math.MinInt64, Writes: -1, Seconds: math.Inf(-1)},
+	{Instance: "nan", Algorithm: "a", Kind: "b", Seconds: math.NaN()},
+}
+
+func TestRowWireRoundTrip(t *testing.T) {
+	var data []byte
+	for _, r := range wireRows {
+		data = schedule.AppendRow(data, r)
+	}
+	for i, want := range wireRows {
+		var got schedule.Row
+		var err error
+		got, data, err = schedule.DecodeRow(data)
+		if err != nil {
+			t.Fatalf("row %d: decode: %v", i, err)
+		}
+		if !rowsBitIdentical(got, want) {
+			t.Fatalf("row %d: round trip changed the row: got %+v want %+v", i, got, want)
+		}
+	}
+	if len(data) != 0 {
+		t.Fatalf("%d trailing bytes", len(data))
+	}
+}
+
+func TestRowWireRejectsCorruption(t *testing.T) {
+	data := schedule.AppendRow(nil, wireRows[2])
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := schedule.DecodeRow(data[:cut]); err == nil {
+			t.Fatalf("decode accepted a row truncated to %d of %d bytes", cut, len(data))
+		}
+	}
+	// A field length pointing past the end of the buffer must fail, not read
+	// out of bounds.
+	if _, _, err := schedule.DecodeRow([]byte{0xFF, 0x7F}); err == nil {
+		t.Fatal("decode accepted an oversized field length")
+	}
+}
+
+func TestBinaryRowSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := schedule.NewBinaryRowSink(&buf)
+	for _, r := range wireRows {
+		if err := sink.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := schedule.ReadBinaryRows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(wireRows) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wireRows))
+	}
+	for i := range rows {
+		if !rowsBitIdentical(rows[i], wireRows[i]) {
+			t.Fatalf("row %d changed through the framed stream: got %+v want %+v", i, rows[i], wireRows[i])
+		}
+	}
+}
+
+func TestBinaryRowSinkEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := schedule.NewBinaryRowSink(&buf)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := schedule.ReadBinaryRows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty stream decoded %d rows", len(rows))
+	}
+}
+
+func TestBinaryRowStreamRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	sink := schedule.NewBinaryRowSink(&buf)
+	for _, r := range wireRows[:3] {
+		if err := sink.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, c := range [][]byte{
+		{},
+		data[:2],
+		data[:len(data)-1],
+		append([]byte{0x00}, data[1:]...),
+		append([]byte{data[0], data[1], 99}, data[3:]...),
+	} {
+		if _, err := schedule.ReadBinaryRows(bytes.NewReader(c)); err == nil {
+			t.Fatal("reader accepted a corrupt stream")
+		}
+	}
+}
+
+// rowsBitIdentical compares rows treating Seconds as raw bits, so NaN
+// payloads count as equal when identical and different bit patterns do not.
+func rowsBitIdentical(a, b schedule.Row) bool {
+	return a.Instance == b.Instance && a.Algorithm == b.Algorithm && a.Kind == b.Kind &&
+		a.Budget == b.Budget && a.Memory == b.Memory && a.IO == b.IO && a.Writes == b.Writes &&
+		math.Float64bits(a.Seconds) == math.Float64bits(b.Seconds)
+}
+
+// FuzzRowWireRoundTrip pins the binary row codec against the JSON one: for
+// arbitrary field values the binary round trip must be the identity, and —
+// whenever JSON can carry the row at all (finite Seconds) — must agree with
+// the JSON round trip field for field.
+func FuzzRowWireRoundTrip(f *testing.F) {
+	for _, r := range wireRows {
+		f.Add(r.Instance, r.Algorithm, r.Kind, r.Budget, r.Memory, r.IO, r.Writes, r.Seconds)
+	}
+	f.Fuzz(func(t *testing.T, instance, algorithm, kind string, budget, memory, ioN int64, writes int, seconds float64) {
+		want := schedule.Row{
+			Instance: instance, Algorithm: algorithm, Kind: kind,
+			Budget: budget, Memory: memory, IO: ioN, Writes: writes, Seconds: seconds,
+		}
+		got, rest, err := schedule.DecodeRow(schedule.AppendRow(nil, want))
+		if err != nil {
+			t.Fatalf("decode of a fresh encoding failed: %v", err)
+		}
+		if len(rest) != 0 || !rowsBitIdentical(got, want) {
+			t.Fatalf("binary round trip changed the row: got %+v want %+v", got, want)
+		}
+		if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+			return // json.Marshal rejects non-finite floats; binary is exact above
+		}
+		if !utf8.ValidString(instance) || !utf8.ValidString(algorithm) || !utf8.ValidString(kind) {
+			return // json.Marshal coerces invalid UTF-8 to U+FFFD; binary is exact above
+		}
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("json round trip failed: %v", err)
+		}
+		var viaJSON schedule.Row
+		if err := json.Unmarshal(data, &viaJSON); err != nil {
+			t.Fatalf("json round trip failed: %v", err)
+		}
+		if viaJSON != got {
+			t.Fatalf("binary and JSON round trips disagree: %+v vs %+v", got, viaJSON)
+		}
+	})
+}

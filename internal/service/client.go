@@ -38,6 +38,16 @@ type Client struct {
 	// RetryBackoff is the delay before the first retry, doubling on each
 	// subsequent one; ≤ 0 selects DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// Binary opts the client into the binary batch transport: requests are
+	// posted in the binary request form (ContentTypeBinaryBatch) and the
+	// framed binary response stream is requested via Accept. The rows are
+	// bit-identical to the JSON transport's — binary additionally preserves
+	// non-finite Seconds values exactly. A server predating the binary
+	// protocol rejects the request with a deterministic 400 (never retried),
+	// so during a rolling upgrade clients stay on JSON until every server
+	// understands both; servers negotiate per request and a shard may mix
+	// JSON and binary children freely.
+	Binary bool
 }
 
 // DefaultRetryBackoff is the initial retry delay when Client.RetryBackoff
@@ -142,13 +152,20 @@ func (e transientError) Unwrap() error { return e.err }
 // is bit-identical to a local run up to the Seconds column. Transient
 // submission failures are retried per the Retries/RetryBackoff fields.
 func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
-	req, err := encodeBatch(jobs, opt.Workers)
-	if err != nil {
-		return nil, err
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
+	var body []byte
+	if c.Binary {
+		var err error
+		if body, err = encodeBatchBinary(jobs, opt.Workers); err != nil {
+			return nil, err
+		}
+	} else {
+		req, err := encodeBatch(jobs, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if body, err = json.Marshal(req); err != nil {
+			return nil, err
+		}
 	}
 	// rows/got persist across attempts: a retry replays the whole batch,
 	// but rows already received keep their first-seen values and do not
@@ -184,7 +201,12 @@ func (c *Client) runAttempt(ctx context.Context, body []byte, jobs []schedule.Jo
 	if err != nil {
 		return err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	if c.Binary {
+		hreq.Header.Set("Content-Type", ContentTypeBinaryBatch)
+		hreq.Header.Set("Accept", ContentTypeBinaryRows)
+	} else {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return transientError{err}
@@ -196,6 +218,11 @@ func (c *Client) runAttempt(ctx context.Context, body []byte, jobs []schedule.Jo
 			return transientError{err}
 		}
 		return err
+	}
+	// The response form follows the server's Content-Type, so a JSON Lines
+	// answer to a binary-accepting client still parses.
+	if isBinaryRows(resp.Header.Get("Content-Type")) {
+		return readBinaryResponse(resp.Body, jobs, opt, rows, got)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)

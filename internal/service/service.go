@@ -38,6 +38,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -215,16 +216,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	var req BatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	jobs, err := decodeJobs(req)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var (
+		jobs       []schedule.Job
+		reqWorkers int
+	)
+	if isBinaryBatch(r.Header.Get("Content-Type")) {
+		data, err := io.ReadAll(body)
+		if err != nil {
+			http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		jobs, reqWorkers, err = decodeBatchBinary(data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		var req BatchRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var err error
+		if jobs, err = decodeJobs(req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reqWorkers = req.Workers
 	}
 	// The request can narrow the server's worker bound, never widen it: a
 	// remote client must not be able to oversubscribe the server.
@@ -232,16 +251,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if req.Workers > 0 && req.Workers < workers {
-		workers = req.Workers
+	if reqWorkers > 0 && reqWorkers < workers {
+		workers = reqWorkers
 	}
 
 	// From here on the response is a committed 200 stream; failures travel
-	// as a trailing error line, not a status code.
-	w.Header().Set("Content-Type", "application/jsonl")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
+	// as a trailing error/terminator frame, not a status code. The stream
+	// form follows the Accept header, independently of the request form.
 	flusher, _ := w.(http.Flusher)
+	var resp batchResponder
+	if acceptsBinaryRows(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", ContentTypeBinaryRows)
+		w.WriteHeader(http.StatusOK)
+		resp = &binaryResponder{w: w, flusher: flusher}
+	} else {
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.WriteHeader(http.StatusOK)
+		resp = &jsonResponder{enc: json.NewEncoder(w), flusher: flusher}
+	}
 	if flusher != nil {
 		flusher.Flush() // commit the stream while (possibly) queued
 	}
@@ -249,23 +276,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case s.evalSem <- struct{}{}:
 		defer func() { <-s.evalSem }()
 	case <-r.Context().Done():
-		enc.Encode(BatchLine{Error: r.Context().Err().Error()})
+		resp.fail(r.Context().Err().Error())
 		return
 	}
 	rows, err := s.backend.Run(r.Context(), jobs, schedule.BatchOptions{
-		Workers: workers,
-		OnRowIndexed: func(i int, row schedule.Row) {
-			enc.Encode(BatchLine{Index: i, Row: &row})
-			if flusher != nil {
-				flusher.Flush()
-			}
-		},
+		Workers:      workers,
+		OnRowIndexed: resp.row,
 	})
 	if err != nil {
-		enc.Encode(BatchLine{Error: err.Error()})
+		resp.fail(err.Error())
 		return
 	}
-	enc.Encode(BatchLine{Done: true, Count: len(rows)})
+	resp.done(len(rows))
 }
 
 // decodeJobs parses the request's trees once each and resolves job specs

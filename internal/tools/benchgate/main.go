@@ -1,0 +1,86 @@
+// Command benchgate fails when a freshly measured benchmark regresses too
+// far below its committed record. It is the perf-regression gate of the CI
+// bench job:
+//
+//	go run ./internal/tools/benchgate BENCH_solver.json /tmp/BENCH_solver.json batch-local/minmemory-grid 2
+//
+// The arguments are the committed record file, the fresh record file, the
+// benchmark name and the maximum allowed slowdown ratio: the gate fails if
+// the fresh rows_per_sec drops below committed/ratio. Only a drop fails —
+// a faster fresh run always passes, so the committed file ratchets forward
+// when someone re-records it. A benchmark missing from either file is an
+// error: silently skipping the comparison would let a renamed or deleted
+// entry disable the gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// record mirrors the BENCH_solver.json entries benchgate reads.
+type record struct {
+	Name       string  `json:"name"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// report mirrors the top-level BENCH_solver.json document.
+type report struct {
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("usage: benchgate <committed.json> <fresh.json> <benchmark-name> <max-ratio>")
+	}
+	committedPath, freshPath, name := args[0], args[1], args[2]
+	ratio, err := strconv.ParseFloat(args[3], 64)
+	if err != nil || ratio < 1 {
+		return fmt.Errorf("max-ratio %q must be a number >= 1", args[3])
+	}
+	committed, err := lookup(committedPath, name)
+	if err != nil {
+		return err
+	}
+	fresh, err := lookup(freshPath, name)
+	if err != nil {
+		return err
+	}
+	floor := committed / ratio
+	if fresh < floor {
+		return fmt.Errorf("%s: fresh %.0f rows/sec is below the committed %.0f / %.1f = %.0f floor",
+			name, fresh, committed, ratio, floor)
+	}
+	fmt.Printf("benchgate: %s ok — fresh %.0f rows/sec vs committed %.0f (floor %.0f)\n", name, fresh, committed, floor)
+	return nil
+}
+
+// lookup reads one benchmark's rows_per_sec out of a record file.
+func lookup(path, name string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == name {
+			if b.RowsPerSec <= 0 {
+				return 0, fmt.Errorf("%s: benchmark %q records no rows_per_sec", path, name)
+			}
+			return b.RowsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: benchmark %q not found", path, name)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, rowsPerSec float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := `{"benchmarks": [{"name": "` + name + `", "rows_per_sec": ` +
+		strconv.FormatFloat(rowsPerSec, 'f', -1, 64) + `}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinRatio(t *testing.T) {
+	committed := writeReport(t, "batch-local/minmemory-grid", 20000)
+	fresh := writeReport(t, "batch-local/minmemory-grid", 11000)
+	if err := run([]string{committed, fresh, "batch-local/minmemory-grid", "2"}); err != nil {
+		t.Fatalf("fresh within 2x of committed rejected: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	committed := writeReport(t, "batch-local/minmemory-grid", 20000)
+	fresh := writeReport(t, "batch-local/minmemory-grid", 9000)
+	err := run([]string{committed, fresh, "batch-local/minmemory-grid", "2"})
+	if err == nil || !strings.Contains(err.Error(), "below the committed") {
+		t.Fatalf("2.2x regression passed the 2x gate: %v", err)
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	committed := writeReport(t, "a", 100)
+	fresh := writeReport(t, "b", 100)
+	if err := run([]string{committed, fresh, "a", "2"}); err == nil {
+		t.Fatal("benchmark missing from the fresh file was skipped silently")
+	}
+	if err := run([]string{committed, fresh, "c", "2"}); err == nil {
+		t.Fatal("benchmark missing from both files was skipped silently")
+	}
+	if err := run([]string{committed, committed, "a", "0.5"}); err == nil {
+		t.Fatal("ratio below 1 accepted")
+	}
+	if err := run([]string{committed, committed, "a"}); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	zero := writeReport(t, "a", 0)
+	if err := run([]string{zero, zero, "a", "2"}); err == nil {
+		t.Fatal("zero rows_per_sec accepted")
+	}
+}

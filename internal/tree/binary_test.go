@@ -1,0 +1,134 @@
+package tree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// treesEqual compares two trees field by field.
+func treesEqual(a, b *Tree) bool {
+	if a.Len() != b.Len() || a.Root() != b.Root() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Parent(i) != b.Parent(i) || a.F(i) != b.F(i) || a.N(i) != b.N(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nodes := 1 + rng.Intn(200)
+		tr, err := Random(rng, RandomOptions{Nodes: nodes, MaxF: 1000, MaxN: 500, Attach: AttachKind(trial % 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := tr.AppendBinary(nil)
+		got, rest, err := DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(rest))
+		}
+		if !treesEqual(tr, got) {
+			t.Fatalf("trial %d: binary round trip changed the tree", trial)
+		}
+	}
+}
+
+// Negative n values (model transforms) and a single-node tree survive the
+// codec.
+func TestBinaryRoundTripEdgeCases(t *testing.T) {
+	for _, tr := range []*Tree{
+		MustNew([]int{-1}, []int64{0}, []int64{0}),
+		MustNew([]int{-1, 0, 0}, []int64{5, 3, 0}, []int64{-7, 2, -1}),
+	} {
+		got, rest, err := DecodeBinary(tr.AppendBinary(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 || !treesEqual(tr, got) {
+			t.Fatal("edge-case round trip changed the tree")
+		}
+	}
+}
+
+// Concatenated binary documents decode one at a time, exactly like the
+// textual multi-document stream.
+func TestBinaryConcatenatedDocuments(t *testing.T) {
+	a := MustNew([]int{-1, 0}, []int64{1, 2}, []int64{3, 4})
+	b := MustNew([]int{1, -1}, []int64{9, 8}, []int64{7, 6})
+	data := b.AppendBinary(a.AppendBinary(nil))
+	first, rest, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, rest, err := DecodeBinary(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !treesEqual(a, first) || !treesEqual(b, second) {
+		t.Fatal("concatenated documents did not round trip in order")
+	}
+}
+
+func TestBinaryDecodeRejectsCorruption(t *testing.T) {
+	tr := MustNew([]int{-1, 0, 0}, []int64{5, 3, 0}, []int64{7, 2, 1})
+	data := tr.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{0x00}, data[1:]...),
+		"bad version": append([]byte{BinaryMagic, 99}, data[2:]...),
+		"truncated":   data[:len(data)-1],
+		"huge count":  {BinaryMagic, BinaryVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, c := range cases {
+		if _, _, err := DecodeBinary(c); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// FuzzTreeBinaryRoundTrip pins the binary codec against the textual one:
+// any tree that decodes from fuzzed bytes must survive a binary round trip
+// bit-identically, and must equal the tree the textual Write/Read round
+// trip produces.
+func FuzzTreeBinaryRoundTrip(f *testing.F) {
+	seed := MustNew([]int{-1, 0, 0, 1}, []int64{4, 3, 2, 1}, []int64{1, -2, 3, 4})
+	f.Add(seed.AppendBinary(nil))
+	f.Add([]byte{BinaryMagic, BinaryVersion, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, _, err := DecodeBinary(data)
+		if err != nil {
+			return // corrupt input is allowed to fail, never to panic
+		}
+		again, rest, err := DecodeBinary(tr.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if len(rest) != 0 || !treesEqual(tr, again) {
+			t.Fatal("binary round trip changed the tree")
+		}
+		var sb strings.Builder
+		if err := tr.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		text, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("textual round trip failed: %v", err)
+		}
+		if !treesEqual(text, again) {
+			t.Fatal("binary and textual round trips disagree")
+		}
+		// The canonical encoding is deterministic.
+		if !bytes.Equal(tr.AppendBinary(nil), again.AppendBinary(nil)) {
+			t.Fatal("encoding is not deterministic")
+		}
+	})
+}
