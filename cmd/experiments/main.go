@@ -66,7 +66,8 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel workers for table1 and grid (0 = GOMAXPROCS)")
 	algos := fs.String("algos", "postorder,liu,minmem", "MinMemory algorithms for the grid experiment")
 	backendSpec := fs.String("backend", "local", "grid evaluation backend: local | cached | scheduled-server URL(s); a comma-separated URL list shards the grid across the servers")
-	cachePath := fs.String("cache", "", "JSONL row-store path for -backend cached (empty = in-memory)")
+	cachePath := fs.String("cache", "", "row-store path for -backend cached (empty = in-memory)")
+	cacheFormat := fs.String("cache-format", "jsonl", "row-store file form: "+strings.Join(schedule.StoreFormatNames(), " | "))
 	retries := fs.Int("retries", 2, "per-chunk submission retries for remote backends (transient errors only)")
 	binary := fs.Bool("binary", false, "use the binary batch transport for remote backends (all servers must understand it)")
 	shardPolicy := fs.String("shard-policy", "adaptive", "chunk dispatch policy for sharded backends: adaptive | roundrobin")
@@ -235,7 +236,7 @@ func run(args []string, w io.Writer) error {
 	if want("grid") {
 		cfg := gridConfig{
 			algos: *algos, workers: *workers, csvDir: *csvDir,
-			backend: *backendSpec, cachePath: *cachePath, retries: *retries,
+			backend: *backendSpec, cachePath: *cachePath, cacheFormat: *cacheFormat, retries: *retries,
 			binary: *binary, shardPolicy: *shardPolicy, warm: *warm,
 			progress: *progress, noTime: *noTime,
 		}
@@ -253,6 +254,7 @@ type gridConfig struct {
 	csvDir      string
 	backend     string
 	cachePath   string
+	cacheFormat string
 	retries     int
 	binary      bool
 	shardPolicy string
@@ -262,7 +264,8 @@ type gridConfig struct {
 }
 
 // newBackend resolves a -backend spec: "local", "cached" (decorating local
-// with an in-memory store, or the JSONL store at cachePath), the URL of a
+// with an in-memory store, or the row store at cachePath in the
+// -cache-format encoding), the URL of a
 // scheduled evaluation server, or a comma-separated URL list, which builds
 // a schedule.Shard fanning chunks out across the servers under the
 // -shard-policy scheduler (with -warm, computed rows are forwarded to
@@ -287,7 +290,11 @@ func newBackend(cfg gridConfig) (schedule.Backend, func() error, error) {
 		if cfg.cachePath == "" {
 			return schedule.NewCached(schedule.Local{}, nil), nop, nil
 		}
-		store, err := schedule.OpenJSONLStore(cfg.cachePath)
+		format, err := schedule.ParseStoreFormat(cfg.cacheFormat)
+		if err != nil {
+			return nil, nil, err
+		}
+		store, err := schedule.OpenRowStore(cfg.cachePath, schedule.StoreOptions{Format: format})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -7,12 +7,16 @@
 // With -cache the server evaluates through a content-addressed result
 // cache persisted as a row store, so repeated grids over the same
 // instances are answered without re-running the algorithms. -cache-format
-// selects the store file form: "jsonl" (the default, line-per-entry text)
-// or "binary" (the framed binary wire form — smaller and cheaper to load,
-// same contents bit for bit). -cache-max bounds the store: beyond that many
-// rows the least-recently-used entries are evicted (and the file compacts
-// down to the bound when the server next loads it), so a long-lived
-// server's store does not grow without bound. The same store backs the
+// selects the store file form: "jsonl" (the default, line-per-entry text),
+// "binary" (the framed binary wire form — smaller and cheaper to load,
+// same contents bit for bit) or "paged" (an out-of-core paged block file
+// with a B-tree index — same contents again, but rows are served from disk
+// through a bounded page cache, so the store can be far larger than RAM
+// and opens in O(1) instead of loading every row). -cache-max bounds the
+// store: beyond that many rows the least-recently-used entries are evicted
+// (the resident formats compact the file down to the bound on close or the
+// next load; the paged store deletes in place through its free list), so a
+// long-lived server's store does not grow without bound. The same store backs the
 // /v1/warm endpoint: rows a shard (or a sibling server) computed elsewhere
 // are pushed in and answer later batches here, so a fleet of cached servers
 // converges on one warm working set.
@@ -22,6 +26,7 @@
 //	scheduled -addr 127.0.0.1:8080
 //	scheduled -addr :9090 -workers 8 -cache rows.jsonl -cache-max 100000
 //	scheduled -addr :9091 -cache rows.bin -cache-format binary
+//	scheduled -addr :9092 -cache rows.paged -cache-format paged
 //	scheduled -list
 package main
 
@@ -34,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,7 +66,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "per-batch worker-pool bound (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "row-store path; evaluate through a content-addressed result cache")
 	cacheMax := fs.Int("cache-max", 0, "row-store entry bound: LRU-evict beyond this many rows (0 = unbounded)")
-	cacheFormat := fs.String("cache-format", "jsonl", "row-store file form: jsonl or binary")
+	cacheFormat := fs.String("cache-format", "jsonl", "row-store file form: "+strings.Join(schedule.StoreFormatNames(), " | "))
 	list := fs.Bool("list", false, "list the registered algorithms and exit")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -171,6 +171,45 @@ func TestServeWithBinaryCacheAndTransport(t *testing.T) {
 	}
 }
 
+// -cache-format paged keeps the result cache out of core; a server restart
+// over the same file reopens it and serves every earlier row from disk
+// without re-running anything.
+func TestServeWithPagedCacheAndRestart(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "rows.paged")
+	base, shutdown := startScheduled(t, "-cache", cache, "-cache-format", "paged")
+	h, err := tree.NestedHarpoon(2, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "h", Tree: h, Algorithm: "postorder"},
+		{Instance: "h", Tree: h, Algorithm: "minmem"},
+	}
+	first, err := service.NewClient(base, nil).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := shutdown()
+	if !strings.Contains(out, "0 cache hits, 2 misses") {
+		t.Fatalf("first server did not report the misses:\n%s", out)
+	}
+
+	base, shutdown = startScheduled(t, "-cache", cache, "-cache-format", "paged")
+	second, err := service.NewClient(base, nil).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("restarted server row %d not bit-identical: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	out = shutdown()
+	if !strings.Contains(out, "2 cache hits, 0 misses") {
+		t.Fatalf("restarted server did not serve from the paged store:\n%s", out)
+	}
+}
+
 func TestListAndErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run(context.Background(), []string{"-list"}, &sb); err != nil {

@@ -72,14 +72,16 @@ type StoreOptions struct {
 	// bound on load.
 	MaxEntries int
 	// Format selects the on-disk encoding opened by OpenRowStore:
-	// FormatJSONL (the default) or FormatBinary. In-memory stores ignore it.
+	// FormatJSONL (the default), FormatBinary or FormatPaged. In-memory
+	// stores ignore it.
 	Format StoreFormat
 }
 
 // StoreFormat names an on-disk row store encoding.
 type StoreFormat int
 
-// The on-disk row store encodings.
+// The on-disk row store encodings. The constant order matches
+// StoreFormatNames, which ParseStoreFormat indexes into.
 const (
 	// FormatJSONL is the append-only JSON Lines store (JSONLStore), the
 	// default: one {"key": …, "row": …} object per line, greppable and
@@ -89,35 +91,44 @@ const (
 	// same entries in the binary row wire form, appended without per-row
 	// json.Marshal.
 	FormatBinary
+	// FormatPaged is the out-of-core paged store (PagedStore): the same
+	// entries in a paged block file with a B-tree index (internal/store),
+	// served from disk with a bounded resident cache instead of being
+	// loaded into memory on open.
+	FormatPaged
 )
 
-// String returns the format's flag spelling ("jsonl" or "binary").
+// StoreFormatNames returns the accepted -cache-format spellings, indexed by
+// StoreFormat value. Flag help text and parse errors both derive from this
+// list, so every surface that enumerates the formats stays in step.
+func StoreFormatNames() []string { return []string{"jsonl", "binary", "paged"} }
+
+// String returns the format's flag spelling ("jsonl", "binary" or "paged").
 func (f StoreFormat) String() string {
-	switch f {
-	case FormatJSONL:
-		return "jsonl"
-	case FormatBinary:
-		return "binary"
-	default:
+	names := StoreFormatNames()
+	if int(f) < 0 || int(f) >= len(names) {
 		return fmt.Sprintf("StoreFormat(%d)", int(f))
 	}
+	return names[f]
 }
 
-// ParseStoreFormat parses a -cache-format flag value.
+// ParseStoreFormat parses a -cache-format flag value; the empty string
+// selects the default FormatJSONL.
 func ParseStoreFormat(s string) (StoreFormat, error) {
-	switch s {
-	case "", "jsonl":
+	if s == "" {
 		return FormatJSONL, nil
-	case "binary":
-		return FormatBinary, nil
-	default:
-		return 0, fmt.Errorf("schedule: unknown store format %q (want jsonl or binary)", s)
 	}
+	for i, name := range StoreFormatNames() {
+		if s == name {
+			return StoreFormat(i), nil
+		}
+	}
+	return 0, fmt.Errorf("schedule: unknown store format %q (want %s)", s, strings.Join(StoreFormatNames(), ", "))
 }
 
-// RowStore is the interface of the file-backed row stores (JSONLStore and
-// BinaryStore): a Store that must be closed to flush and compact, plus the
-// shared observability accessors.
+// RowStore is the interface of the file-backed row stores (JSONLStore,
+// BinaryStore and PagedStore): a Store that must be closed to flush and
+// compact, plus the shared observability accessors.
 type RowStore interface {
 	Store
 	Close() error
@@ -126,14 +137,18 @@ type RowStore interface {
 }
 
 // OpenRowStore opens (creating if absent) the file-backed store at path in
-// the encoding selected by opt.Format. Both encodings share the same
-// load/heal/compact semantics; they differ only in how entries sit on disk.
+// the encoding selected by opt.Format. Every encoding serves bit-identical
+// rows under the same bounding semantics; they differ in how entries sit on
+// disk and in whether they are resident (the JSONL and binary stores load
+// everything into memory, the paged store reads from disk on demand).
 func OpenRowStore(path string, opt StoreOptions) (RowStore, error) {
 	switch opt.Format {
 	case FormatJSONL:
 		return OpenJSONLStoreWith(path, opt)
 	case FormatBinary:
 		return OpenBinaryStoreWith(path, opt)
+	case FormatPaged:
+		return OpenPagedStoreWith(path, opt)
 	default:
 		return nil, fmt.Errorf("schedule: unknown store format %d", int(opt.Format))
 	}

@@ -12,14 +12,22 @@ import (
 
 func TestParseStoreFormat(t *testing.T) {
 	for in, want := range map[string]schedule.StoreFormat{
-		"": schedule.FormatJSONL, "jsonl": schedule.FormatJSONL, "binary": schedule.FormatBinary,
+		"":       schedule.FormatJSONL,
+		"jsonl":  schedule.FormatJSONL,
+		"binary": schedule.FormatBinary,
+		"paged":  schedule.FormatPaged,
 	} {
 		got, err := schedule.ParseStoreFormat(in)
 		if err != nil || got != want {
 			t.Errorf("ParseStoreFormat(%q) = %v, %v; want %v", in, got, err, want)
 		}
-		if got.String() != "jsonl" && got.String() != "binary" {
-			t.Errorf("StoreFormat(%v).String() = %q", got, got.String())
+	}
+	// Every name round-trips, so flag help derived from StoreFormatNames
+	// always matches what ParseStoreFormat accepts.
+	for i, name := range schedule.StoreFormatNames() {
+		got, err := schedule.ParseStoreFormat(name)
+		if err != nil || got != schedule.StoreFormat(i) || got.String() != name {
+			t.Errorf("format name %q does not round-trip: %v, %v", name, got, err)
 		}
 	}
 	if _, err := schedule.ParseStoreFormat("protobuf"); err == nil {
@@ -191,27 +199,24 @@ func TestBinaryStoreBounded(t *testing.T) {
 	}
 }
 
-// Both on-disk formats are the same store: identical puts produce identical
-// gets, across a close/reopen cycle, for every row either can hold.
+// Every on-disk format is the same store: identical puts produce identical
+// gets, across a close/reopen cycle, for every row any of them can hold.
 func TestRowStoreFormatsEquivalent(t *testing.T) {
 	dir := t.TempDir()
-	stores := map[schedule.StoreFormat]schedule.RowStore{}
-	for _, format := range []schedule.StoreFormat{schedule.FormatJSONL, schedule.FormatBinary} {
-		s, err := schedule.OpenRowStore(filepath.Join(dir, "rows."+format.String()), schedule.StoreOptions{Format: format})
-		if err != nil {
-			t.Fatal(err)
-		}
-		stores[format] = s
-	}
+	formats := []schedule.StoreFormat{schedule.FormatJSONL, schedule.FormatBinary, schedule.FormatPaged}
 	rows := []schedule.Row{
 		{Instance: "a", Algorithm: "minmem", Kind: "minmemory", Memory: 42, Seconds: 0.125},
 		{Instance: "b", Algorithm: "evict-best-3", Kind: "minio", Budget: 9, IO: 17, Writes: 3, Seconds: 1e-9},
 		{},
 	}
-	for fmtName, s := range stores {
+	for _, format := range formats {
+		s, err := schedule.OpenRowStore(filepath.Join(dir, "rows."+format.String()), schedule.StoreOptions{Format: format})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, r := range rows {
 			if err := s.Put(fmt.Sprintf("key-%d", i), r); err != nil {
-				t.Fatalf("%v: %v", fmtName, err)
+				t.Fatalf("%v: %v", format, err)
 			}
 		}
 		if err := s.Close(); err != nil {
@@ -219,7 +224,7 @@ func TestRowStoreFormatsEquivalent(t *testing.T) {
 		}
 	}
 	reopened := map[schedule.StoreFormat]schedule.RowStore{}
-	for format := range stores {
+	for _, format := range formats {
 		s, err := schedule.OpenRowStore(filepath.Join(dir, "rows."+format.String()), schedule.StoreOptions{Format: format})
 		if err != nil {
 			t.Fatal(err)
@@ -229,13 +234,14 @@ func TestRowStoreFormatsEquivalent(t *testing.T) {
 	}
 	for i, want := range rows {
 		key := fmt.Sprintf("key-%d", i)
-		j, okJ := reopened[schedule.FormatJSONL].Get(key)
-		b, okB := reopened[schedule.FormatBinary].Get(key)
-		if !okJ || !okB {
-			t.Fatalf("%s missing after reopen (jsonl %v, binary %v)", key, okJ, okB)
-		}
-		if j != b || b != want {
-			t.Fatalf("%s diverged across formats: jsonl %+v, binary %+v, want %+v", key, j, b, want)
+		for _, format := range formats {
+			got, ok := reopened[format].Get(key)
+			if !ok {
+				t.Fatalf("%s missing after reopen from the %v store", key, format)
+			}
+			if got != want {
+				t.Fatalf("%s diverged in the %v store: %+v, want %+v", key, format, got, want)
+			}
 		}
 	}
 }

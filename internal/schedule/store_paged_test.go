@@ -1,0 +1,231 @@
+package schedule_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/store"
+)
+
+// The paged store is a drop-in RowStore sibling: cold fill, fully warm
+// bit-identical replay across a reopen, zero algorithm runs when warm.
+func TestPagedStoreColdWarm(t *testing.T) {
+	jobs := gridJobs(t)
+	path := filepath.Join(t.TempDir(), "rows.paged")
+	opt := schedule.StoreOptions{Format: schedule.FormatPaged}
+
+	rs, err := schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := schedule.NewCached(schedule.Local{}, rs).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err = schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Len() != len(jobs) {
+		t.Fatalf("reopened store holds %d rows, want %d", rs.Len(), len(jobs))
+	}
+	counting := &countingBackend{inner: schedule.Local{}}
+	warm, err := schedule.NewCached(counting, rs).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Fatalf("row %d not replayed bit-identically from disk: %+v vs %+v", i, warm[i], cold[i])
+		}
+	}
+	if got := counting.jobs.Load(); got != 0 {
+		t.Fatalf("warm disk run executed %d algorithm runs, want 0", got)
+	}
+}
+
+// Crash the paged store at sampled byte boundaries of its real write
+// history (every engine sync point plus a stride of raw offsets): each torn
+// image must reopen, replay what survived, recompute only the rest, and —
+// once the close was acknowledged — be fully warm.
+func TestPagedStoreCrashRecovery(t *testing.T) {
+	jobs := gridJobs(t)
+	b := store.NewMemBacking()
+	opt := schedule.StoreOptions{Format: schedule.FormatPaged}
+	ps, err := schedule.OpenPagedStoreBacking(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := schedule.NewCached(schedule.Local{}, ps).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := b.JournalBytes()
+	syncs := b.SyncPoints()
+	if total == 0 || len(syncs) == 0 {
+		t.Fatalf("workload journaled %d bytes, %d sync points", total, len(syncs))
+	}
+	cuts := map[int64]bool{0: true, total: true}
+	for _, s := range syncs {
+		cuts[s] = true
+		if s > 0 {
+			cuts[s-1] = true // one byte short of durable: previous commit wins
+		}
+	}
+	for c := int64(0); c < total; c += 1 + total/40 {
+		cuts[c] = true
+	}
+	for cut := range cuts {
+		img := b.Snapshot(cut)
+		re, err := schedule.OpenPagedStoreBacking(img, opt)
+		if err != nil {
+			if cut >= syncs[0] {
+				t.Fatalf("cut %d: reopen failed after the store was initialized: %v", cut, err)
+			}
+			continue
+		}
+		counting := &countingBackend{inner: schedule.Local{}}
+		rows, err := schedule.NewCached(counting, re).Run(context.Background(), jobs, schedule.BatchOptions{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery run: %v", cut, err)
+		}
+		sameRowsNoTime(t, cold, rows, fmt.Sprintf("cut %d", cut))
+		if cut >= total && counting.jobs.Load() != 0 {
+			t.Fatalf("fully acknowledged image re-ran %d jobs, want 0", counting.jobs.Load())
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}
+
+// A format mix-up must not erase a good cache: a JSONL file opened as paged
+// is an error, not healable damage — and the reverse open is also refused.
+func TestPagedStoreRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "rows.jsonl")
+	js, err := schedule.OpenJSONLStore(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Put("k", schedule.Row{Instance: "i"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.OpenRowStore(jsonlPath, schedule.StoreOptions{Format: schedule.FormatPaged}); err == nil {
+		t.Fatal("paged open of a JSONL store must fail")
+	}
+
+	pagedPath := filepath.Join(dir, "rows.paged")
+	ps, err := schedule.OpenRowStore(pagedPath, schedule.StoreOptions{Format: schedule.FormatPaged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Put("k", schedule.Row{Instance: "i"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.OpenRowStore(pagedPath, schedule.StoreOptions{Format: schedule.FormatBinary}); err == nil {
+		t.Fatal("binary open of a paged store must fail")
+	}
+}
+
+// Bounded semantics match the resident stores exactly, including recency
+// surviving a reopen — but here via in-place stamp rewrites, not a
+// close-time file rewrite.
+func TestPagedStoreBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.paged")
+	opt := schedule.StoreOptions{Format: schedule.FormatPaged, MaxEntries: 4}
+	rs, err := schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := rs.Put(fmt.Sprintf("key-%d", i), schedule.Row{Instance: fmt.Sprintf("i%d", i), Memory: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("bounded store holds %d rows, want 4", rs.Len())
+	}
+	if rs.Evictions() != 6 {
+		t.Fatalf("bounded store evicted %d rows, want 6", rs.Evictions())
+	}
+	// Bump key-6 so the next eviction after a reopen drops key-7 instead.
+	if _, ok := rs.Get("key-6"); !ok {
+		t.Fatal("key-6 missing before close")
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Len() != 4 {
+		t.Fatalf("reopened bounded store holds %d rows, want 4", rs.Len())
+	}
+	if err := rs.Put("key-10", schedule.Row{Instance: "i10"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"key-6", "key-8", "key-9", "key-10"} {
+		if _, ok := rs.Get(key); !ok {
+			t.Errorf("%s missing after reopen", key)
+		}
+	}
+	if _, ok := rs.Get("key-7"); ok {
+		t.Error("key-7 survived although key-6 was more recently used")
+	}
+}
+
+// Eviction reclaims pages in place: churning far more rows than the bound
+// through a bounded paged store must not grow the file, and the resident
+// page cache stays within the engine's bound the whole time.
+func TestPagedStoreEvictionBoundsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.paged")
+	opt := schedule.StoreOptions{Format: schedule.FormatPaged, MaxEntries: 64}
+	rs, err := schedule.OpenRowStore(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	ps := rs.(*schedule.PagedStore)
+	row := schedule.Row{Instance: "inst", Algorithm: "minmem", Memory: 7, IO: 9}
+	var warm int
+	for i := 0; i < 64*20; i++ {
+		row.Budget = int64(i)
+		if err := rs.Put(fmt.Sprintf("key-%d", i), row); err != nil {
+			t.Fatal(err)
+		}
+		if i == 64*2 {
+			warm = ps.StoreStats().FilePages
+		}
+	}
+	if rs.Len() != 64 {
+		t.Fatalf("bounded store holds %d rows, want 64", rs.Len())
+	}
+	s := ps.StoreStats()
+	if s.FilePages > warm*4 {
+		t.Fatalf("file grew from %d to %d pages under eviction churn: eviction is not reclaiming in place", warm, s.FilePages)
+	}
+	if s.CachedPages > 512 {
+		t.Fatalf("resident page cache holds %d pages, beyond the 512-page bound", s.CachedPages)
+	}
+}

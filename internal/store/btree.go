@@ -1,0 +1,385 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+)
+
+// The index is a copy-on-write B-tree keyed on the 32-byte SHA-256 of the
+// record key, mapping to the record's location. Leaf entries are 42 bytes
+// (hash, data page, offset, length), branch entries 36 (hash, child page);
+// both are kept sorted, so a 4 KiB page fans out to ~97 leaf or ~113 branch
+// entries and four levels cover hundreds of millions of records. A branch
+// entry's hash is a lower bound for its subtree (the leftmost entry of a
+// new root uses the zero hash), so deleting or inserting a subtree minimum
+// never needs a separator rewrite: lookups descend into the last child
+// whose bound does not exceed the target, clamped to the first.
+//
+// Every mutated page on the root-to-leaf path is shadowed to a fresh page
+// (pager.shadow), never updated in place, which is what lets the commit
+// record flip atomically between tree versions. Underfull pages are left
+// alone — a page is reclaimed when its last entry goes — which trades some
+// occupancy for never having to merge; LRU churn deletes cluster in old
+// pages, so dead pages drain on their own.
+
+// key32 is the fixed-size B-tree key: SHA-256 of the record key.
+type key32 = [32]byte
+
+// loc addresses one record: its data page, payload offset (overflowOff for
+// an overflow chain head) and total encoded length.
+type loc struct {
+	page   uint32
+	off    uint16
+	length uint32
+}
+
+const (
+	leafEntrySize   = 32 + 4 + 2 + 4
+	branchEntrySize = 32 + 4
+)
+
+func (pg *pager) maxLeaf() int   { return pg.payloadCap() / leafEntrySize }
+func (pg *pager) maxBranch() int { return pg.payloadCap() / branchEntrySize }
+
+func leafEntry(p *page, i int) (key32, loc) {
+	e := p.payload()[i*leafEntrySize:]
+	var h key32
+	copy(h[:], e)
+	return h, loc{
+		page:   binary.LittleEndian.Uint32(e[32:]),
+		off:    binary.LittleEndian.Uint16(e[36:]),
+		length: binary.LittleEndian.Uint32(e[38:]),
+	}
+}
+
+func leafWrite(p *page, i int, h key32, l loc) {
+	e := p.payload()[i*leafEntrySize:]
+	copy(e, h[:])
+	binary.LittleEndian.PutUint32(e[32:], l.page)
+	binary.LittleEndian.PutUint16(e[36:], l.off)
+	binary.LittleEndian.PutUint32(e[38:], l.length)
+}
+
+func branchEntry(p *page, i int) (key32, uint32) {
+	e := p.payload()[i*branchEntrySize:]
+	var h key32
+	copy(h[:], e)
+	return h, binary.LittleEndian.Uint32(e[32:])
+}
+
+func branchWrite(p *page, i int, h key32, child uint32) {
+	e := p.payload()[i*branchEntrySize:]
+	copy(e, h[:])
+	binary.LittleEndian.PutUint32(e[32:], child)
+}
+
+// entryKey returns entry i's hash without decoding the value part.
+func entryKey(p *page, i, entrySize int) []byte {
+	return p.payload()[i*entrySize : i*entrySize+32]
+}
+
+// searchLeaf returns the position of h (found) or its insertion point.
+func searchLeaf(p *page, h key32) (int, bool) {
+	n := p.count()
+	i := sort.Search(n, func(i int) bool {
+		return bytes.Compare(entryKey(p, i, leafEntrySize), h[:]) >= 0
+	})
+	return i, i < n && bytes.Equal(entryKey(p, i, leafEntrySize), h[:])
+}
+
+// childIndex returns the branch slot to descend into: the last entry whose
+// bound does not exceed h, clamped to the first.
+func childIndex(p *page, h key32) int {
+	n := p.count()
+	i := sort.Search(n, func(i int) bool {
+		return bytes.Compare(entryKey(p, i, branchEntrySize), h[:]) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// insertAtSlot shifts entries right and writes the new one at idx.
+func insertAtSlot(p *page, idx, entrySize int, write func(*page, int)) {
+	pl := p.payload()
+	n := p.count()
+	copy(pl[(idx+1)*entrySize:(n+1)*entrySize], pl[idx*entrySize:n*entrySize])
+	write(p, idx)
+	p.setCount(n + 1)
+}
+
+// removeSlot shifts entries left over idx.
+func removeSlot(p *page, idx, entrySize int) {
+	pl := p.payload()
+	n := p.count()
+	copy(pl[idx*entrySize:], pl[(idx+1)*entrySize:n*entrySize])
+	p.setCount(n - 1)
+}
+
+// splitResult reports an insert that overflowed a page: a new right sibling
+// and the lower bound of its keys, for the parent to index.
+type splitResult struct {
+	key  key32
+	page uint32
+}
+
+// btreeGet looks h up in the committed-or-working tree.
+func (pg *pager) btreeGet(h key32) (loc, bool, error) {
+	no := pg.cur.root
+	for no != 0 {
+		p, err := pg.read(no, 0)
+		if err != nil {
+			return loc{}, false, err
+		}
+		switch p.typ() {
+		case pageLeaf:
+			if i, found := searchLeaf(p, h); found {
+				_, l := leafEntry(p, i)
+				return l, true, nil
+			}
+			return loc{}, false, nil
+		case pageBranch:
+			if p.count() == 0 {
+				return loc{}, false, errCorrupt(no, "empty branch")
+			}
+			_, no = branchEntry(p, childIndex(p, h))
+		default:
+			return loc{}, false, errCorrupt(no, "not an index page")
+		}
+	}
+	return loc{}, false, nil
+}
+
+// btreePut maps h to l, returning the location it replaced, if any.
+func (pg *pager) btreePut(h key32, l loc) (loc, bool, error) {
+	if pg.cur.root == 0 {
+		leaf := pg.alloc(pageLeaf)
+		leafWrite(leaf, 0, h, l)
+		leaf.setCount(1)
+		pg.cur.root = leaf.no
+		return loc{}, false, nil
+	}
+	newRoot, split, old, replaced, err := pg.insertAt(pg.cur.root, h, l)
+	if err != nil {
+		return loc{}, false, err
+	}
+	pg.cur.root = newRoot
+	if split != nil {
+		root := pg.alloc(pageBranch)
+		branchWrite(root, 0, key32{}, newRoot)
+		branchWrite(root, 1, split.key, split.page)
+		root.setCount(2)
+		pg.cur.root = root.no
+	}
+	return old, replaced, nil
+}
+
+func (pg *pager) insertAt(no uint32, h key32, l loc) (uint32, *splitResult, loc, bool, error) {
+	p, err := pg.read(no, 0)
+	if err != nil {
+		return 0, nil, loc{}, false, err
+	}
+	switch p.typ() {
+	case pageLeaf:
+		i, found := searchLeaf(p, h)
+		sp, err := pg.shadow(no, pageLeaf)
+		if err != nil {
+			return 0, nil, loc{}, false, err
+		}
+		if found {
+			_, old := leafEntry(sp, i)
+			leafWrite(sp, i, h, l)
+			return sp.no, nil, old, true, nil
+		}
+		if sp.count() < pg.maxLeaf() {
+			insertAtSlot(sp, i, leafEntrySize, func(p *page, at int) { leafWrite(p, at, h, l) })
+			return sp.no, nil, loc{}, false, nil
+		}
+		split := pg.splitInsert(sp, i, leafEntrySize, func(p *page, at int) { leafWrite(p, at, h, l) })
+		return sp.no, split, loc{}, false, nil
+	case pageBranch:
+		if p.count() == 0 {
+			return 0, nil, loc{}, false, errCorrupt(no, "empty branch")
+		}
+		idx := childIndex(p, h)
+		_, child := branchEntry(p, idx)
+		newChild, childSplit, old, replaced, err := pg.insertAt(child, h, l)
+		if err != nil {
+			return 0, nil, loc{}, false, err
+		}
+		if newChild == child && childSplit == nil {
+			return no, nil, old, replaced, nil
+		}
+		sp, err := pg.shadow(no, pageBranch)
+		if err != nil {
+			return 0, nil, loc{}, false, err
+		}
+		key, _ := branchEntry(sp, idx)
+		branchWrite(sp, idx, key, newChild)
+		if childSplit == nil {
+			return sp.no, nil, old, replaced, nil
+		}
+		if sp.count() < pg.maxBranch() {
+			insertAtSlot(sp, idx+1, branchEntrySize, func(p *page, at int) {
+				branchWrite(p, at, childSplit.key, childSplit.page)
+			})
+			return sp.no, nil, old, replaced, nil
+		}
+		split := pg.splitInsert(sp, idx+1, branchEntrySize, func(p *page, at int) {
+			branchWrite(p, at, childSplit.key, childSplit.page)
+		})
+		return sp.no, split, old, replaced, nil
+	default:
+		return 0, nil, loc{}, false, errCorrupt(no, "not an index page")
+	}
+}
+
+// splitInsert splits a full shadowed page around an insert at idx: the
+// merged entry sequence is halved between the page and a fresh right
+// sibling, and the sibling's lower bound is returned for the parent.
+func (pg *pager) splitInsert(sp *page, idx, entrySize int, write func(*page, int)) *splitResult {
+	n := sp.count()
+	merged := make([]byte, (n+1)*entrySize)
+	pl := sp.payload()
+	copy(merged, pl[:idx*entrySize])
+	copy(merged[(idx+1)*entrySize:], pl[idx*entrySize:n*entrySize])
+	// Write the new entry into its slot of the merged sequence via a
+	// throwaway page view sharing the merged buffer.
+	view := &page{no: sp.no, buf: append(make([]byte, pageHeaderSize), merged...)}
+	write(view, idx)
+	merged = view.payload()
+
+	total := n + 1
+	left := total / 2
+	right := pg.alloc(sp.typ())
+	copy(pl, merged[:left*entrySize])
+	sp.setCount(left)
+	copy(right.payload(), merged[left*entrySize:total*entrySize])
+	right.setCount(total - left)
+	var sep key32
+	copy(sep[:], right.payload()[:32])
+	return &splitResult{key: sep, page: right.no}
+}
+
+// btreeDelete removes h, returning the location it occupied.
+func (pg *pager) btreeDelete(h key32) (loc, bool, error) {
+	if pg.cur.root == 0 {
+		return loc{}, false, nil
+	}
+	newRoot, emptied, old, found, err := pg.deleteAt(pg.cur.root, h)
+	if err != nil || !found {
+		return loc{}, false, err
+	}
+	if emptied {
+		pg.cur.root = 0
+		return old, true, nil
+	}
+	pg.cur.root = newRoot
+	// Collapse single-child branch roots so the depth tracks the live
+	// entry count back down.
+	for {
+		p, err := pg.read(pg.cur.root, 0)
+		if err != nil {
+			return loc{}, false, err
+		}
+		if p.typ() != pageBranch || p.count() != 1 {
+			break
+		}
+		_, child := branchEntry(p, 0)
+		pg.free(pg.cur.root)
+		pg.cur.root = child
+	}
+	return old, true, nil
+}
+
+func (pg *pager) deleteAt(no uint32, h key32) (uint32, bool, loc, bool, error) {
+	p, err := pg.read(no, 0)
+	if err != nil {
+		return 0, false, loc{}, false, err
+	}
+	switch p.typ() {
+	case pageLeaf:
+		i, found := searchLeaf(p, h)
+		if !found {
+			return no, false, loc{}, false, nil
+		}
+		_, old := leafEntry(p, i)
+		if p.count() == 1 {
+			pg.free(no)
+			return 0, true, old, true, nil
+		}
+		sp, err := pg.shadow(no, pageLeaf)
+		if err != nil {
+			return 0, false, loc{}, false, err
+		}
+		removeSlot(sp, i, leafEntrySize)
+		return sp.no, false, old, true, nil
+	case pageBranch:
+		if p.count() == 0 {
+			return 0, false, loc{}, false, errCorrupt(no, "empty branch")
+		}
+		idx := childIndex(p, h)
+		_, child := branchEntry(p, idx)
+		newChild, emptied, old, found, err := pg.deleteAt(child, h)
+		if err != nil || !found {
+			return no, false, loc{}, false, err
+		}
+		if !emptied && newChild == child {
+			return no, false, old, true, nil
+		}
+		sp, err := pg.shadow(no, pageBranch)
+		if err != nil {
+			return 0, false, loc{}, false, err
+		}
+		if emptied {
+			removeSlot(sp, idx, branchEntrySize)
+			if sp.count() == 0 {
+				pg.free(sp.no)
+				return 0, true, old, true, nil
+			}
+			return sp.no, false, old, true, nil
+		}
+		key, _ := branchEntry(sp, idx)
+		branchWrite(sp, idx, key, newChild)
+		return sp.no, false, old, true, nil
+	default:
+		return 0, false, loc{}, false, errCorrupt(no, "not an index page")
+	}
+}
+
+// btreeWalk visits every entry in hash order.
+func (pg *pager) btreeWalk(fn func(h key32, l loc) error) error {
+	return pg.walkAt(pg.cur.root, fn)
+}
+
+func (pg *pager) walkAt(no uint32, fn func(h key32, l loc) error) error {
+	if no == 0 {
+		return nil
+	}
+	p, err := pg.read(no, 0)
+	if err != nil {
+		return err
+	}
+	switch p.typ() {
+	case pageLeaf:
+		for i := 0; i < p.count(); i++ {
+			h, l := leafEntry(p, i)
+			if err := fn(h, l); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pageBranch:
+		for i := 0; i < p.count(); i++ {
+			_, child := branchEntry(p, i)
+			if err := pg.walkAt(child, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return errCorrupt(no, "not an index page")
+	}
+}

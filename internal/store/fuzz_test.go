@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzPagedStoreOps drives a random put/get/delete/sync/reopen schedule
+// against the paged store and a plain map model, requiring identical
+// results at every step and after a final full scan. The key space is kept
+// small so overwrites, deletes of live keys and page churn dominate.
+func FuzzPagedStoreOps(f *testing.F) {
+	f.Add([]byte{0, 8, 16, 2, 3, 4})
+	f.Add([]byte{1, 1, 1, 4, 1, 2, 2, 2, 4, 0})
+	f.Add(bytes.Repeat([]byte{0, 5, 2, 5, 4}, 8))
+	f.Add([]byte{253, 7, 130, 64, 201, 4, 4, 33, 17, 90, 255, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		b := NewMemBacking()
+		opt := Options{PageSize: MinPageSize, MaxCachedPages: 4, AutoCommitPages: 4}
+		db, err := OpenBacking(b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[string]string{}
+		key := func(op byte) string { return fmt.Sprintf("k%d", (op>>3)%16) }
+		for i, op := range ops {
+			k := key(op)
+			switch op % 5 {
+			case 0: // small inline record
+				v := fmt.Sprintf("v%d-%d", i, op)
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			case 1: // record large enough to overflow a page
+				v := string(bytes.Repeat([]byte{op}, MinPageSize/2+int(op)*5))
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			case 2:
+				ok, err := db.Delete([]byte(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, want := model[k]
+				if ok != want {
+					t.Fatalf("op %d: delete %q = %v, model says %v", i, k, ok, want)
+				}
+				delete(model, k)
+			case 3:
+				v, ok, err := db.Get([]byte(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, inModel := model[k]
+				if ok != inModel || (ok && string(v) != want) {
+					t.Fatalf("op %d: get %q = %q, %v; model has %q, %v", i, k, v, ok, want, inModel)
+				}
+			case 4: // close (commits) and reopen over the same bytes
+				if err := db.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if db, err = OpenBacking(b, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if int(db.Len()) != len(model) {
+			t.Fatalf("Len = %d, model has %d", db.Len(), len(model))
+		}
+		seen := map[string]string{}
+		if err := db.Scan(func(k, v []byte) error {
+			seen[string(k)] = string(v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(model) {
+			t.Fatalf("scan saw %d rows, model has %d", len(seen), len(model))
+		}
+		for k, want := range model {
+			if seen[k] != want {
+				t.Fatalf("scan %q = %q, want %q", k, seen[k], want)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Every page starts with a fixed header:
+//
+//	off 0      type byte (pageMeta … pageOverflow)
+//	off 1      reserved (zero)
+//	off 2..3   count — entries in an index/free/space page, bytes used in a
+//	           data or overflow page
+//	off 4..7   next — chain pointer (overflow, free-list and space-map
+//	           pages; zero elsewhere)
+//	off 8..11  CRC-32C over the whole page with this field zeroed
+//
+// and the payload fills the rest. Page numbers are uint32 file offsets in
+// page units; page zero and one are the two meta slots, so zero doubles as
+// the nil page pointer everywhere else.
+
+// The page types.
+const (
+	pageMeta     = 1 // commit record (slots 0 and 1)
+	pageData     = 2 // shared record storage
+	pageLeaf     = 3 // B-tree leaf
+	pageBranch   = 4 // B-tree interior node
+	pageFree     = 5 // free-list chain
+	pageSpace    = 6 // space-map chain (live records per data page)
+	pageOverflow = 7 // single-record overflow chain
+)
+
+// pageHeaderSize is the number of header bytes before the payload.
+const pageHeaderSize = 12
+
+// Page size bounds: the offset field of an index entry is a uint16 with
+// 0xFFFF reserved as the overflow sentinel, so payloads must stay below it.
+const (
+	// MinPageSize is the smallest accepted page size.
+	MinPageSize = 256
+	// MaxPageSize is the largest accepted page size.
+	MaxPageSize = 32768
+	// DefaultPageSize is the page size used when Options leaves it zero.
+	DefaultPageSize = 4096
+)
+
+// overflowOff is the index-entry offset sentinel marking a record stored in
+// its own overflow page chain rather than inside a shared data page.
+const overflowOff = 0xFFFF
+
+// castagnoli is the CRC-32C table shared by every checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// page is one in-memory page image (header plus payload).
+type page struct {
+	no  uint32
+	buf []byte
+}
+
+func (p *page) typ() byte        { return p.buf[0] }
+func (p *page) setTyp(t byte)    { p.buf[0] = t }
+func (p *page) count() int       { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+func (p *page) setCount(n int)   { binary.LittleEndian.PutUint16(p.buf[2:], uint16(n)) }
+func (p *page) next() uint32     { return binary.LittleEndian.Uint32(p.buf[4:]) }
+func (p *page) setNext(n uint32) { binary.LittleEndian.PutUint32(p.buf[4:], n) }
+func (p *page) payload() []byte  { return p.buf[pageHeaderSize:] }
+
+// seal computes and stores the page checksum; call before writing out.
+func (p *page) seal() {
+	binary.LittleEndian.PutUint32(p.buf[8:], 0)
+	binary.LittleEndian.PutUint32(p.buf[8:], crc32.Checksum(p.buf, castagnoli))
+}
+
+// verify checks the stored checksum against the contents.
+func (p *page) verify() error {
+	want := binary.LittleEndian.Uint32(p.buf[8:])
+	var save [4]byte
+	copy(save[:], p.buf[8:12])
+	binary.LittleEndian.PutUint32(p.buf[8:], 0)
+	got := crc32.Checksum(p.buf, castagnoli)
+	copy(p.buf[8:12], save[:])
+	if got != want {
+		return fmt.Errorf("store: page %d checksum mismatch", p.no)
+	}
+	return nil
+}
+
+// errCorrupt reports structural damage anchored to a page.
+func errCorrupt(no uint32, msg string) error {
+	return fmt.Errorf("store: page %d corrupt: %s", no, msg)
+}

@@ -1,0 +1,490 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// meta is the commit record: the complete durable root state of the file.
+// Two alternating page slots (pages zero and one) hold the two most recent
+// commits; the valid slot with the higher sequence wins on open, so a crash
+// anywhere — including mid-way through writing a meta slot — rolls the file
+// back to the previous commit.
+type meta struct {
+	seq        uint64
+	root       uint32 // B-tree root page (0 = empty tree)
+	pageCount  uint32 // committed file extent, in pages
+	freeHead   uint32 // free-list chain head (0 = none)
+	spaceHead  uint32 // space-map chain head (0 = none)
+	entryCount uint64
+	userMeta   uint64
+}
+
+// metaMagic opens every meta payload; the first byte matches the repo-wide
+// binary convention (non-ASCII, so the file can never be mistaken for text).
+var metaMagic = [4]byte{0xAB, 'P', 'G', 1}
+
+// metaPayloadLen is the encoded meta size inside the page payload.
+const metaPayloadLen = 4 + 4 + 8 + 4 + 4 + 4 + 4 + 8 + 8
+
+func encodeMeta(p *page, pageSize int, m meta) {
+	pl := p.payload()
+	copy(pl, metaMagic[:])
+	binary.LittleEndian.PutUint32(pl[4:], uint32(pageSize))
+	binary.LittleEndian.PutUint64(pl[8:], m.seq)
+	binary.LittleEndian.PutUint32(pl[16:], m.root)
+	binary.LittleEndian.PutUint32(pl[20:], m.pageCount)
+	binary.LittleEndian.PutUint32(pl[24:], m.freeHead)
+	binary.LittleEndian.PutUint32(pl[28:], m.spaceHead)
+	binary.LittleEndian.PutUint64(pl[32:], m.entryCount)
+	binary.LittleEndian.PutUint64(pl[40:], m.userMeta)
+}
+
+func decodeMeta(p *page) (meta, int, error) {
+	if p.typ() != pageMeta {
+		return meta{}, 0, fmt.Errorf("store: page %d is not a meta page", p.no)
+	}
+	pl := p.payload()
+	if len(pl) < metaPayloadLen || [4]byte(pl[:4]) != metaMagic {
+		return meta{}, 0, fmt.Errorf("store: meta slot %d has no magic", p.no)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(pl[4:]))
+	m := meta{
+		seq:        binary.LittleEndian.Uint64(pl[8:]),
+		root:       binary.LittleEndian.Uint32(pl[16:]),
+		pageCount:  binary.LittleEndian.Uint32(pl[20:]),
+		freeHead:   binary.LittleEndian.Uint32(pl[24:]),
+		spaceHead:  binary.LittleEndian.Uint32(pl[28:]),
+		entryCount: binary.LittleEndian.Uint64(pl[32:]),
+		userMeta:   binary.LittleEndian.Uint64(pl[40:]),
+	}
+	return m, pageSize, nil
+}
+
+// pager owns the page-level machinery: the backing, the bounded clean-page
+// cache, the dirty set of the open transaction, allocation (free-list reuse
+// plus file extension), the copy-on-write discipline and the dual-meta
+// commit protocol. It is not safe for concurrent use; DB serializes.
+type pager struct {
+	b        Backing
+	pageSize int
+	maxClean int
+
+	clean map[uint32]*list.Element // committed pages cached in memory
+	order *list.List               // front = most recently used clean page
+
+	dirty map[uint32]*page // pages written by the open transaction
+	txNew map[uint32]bool  // page numbers allocated by the open transaction
+
+	committed meta // state of the last durable commit
+	cur       meta // working state (root, pageCount, entryCount, userMeta)
+
+	reusable []uint32 // free pages that may be allocated this transaction
+	pending  []uint32 // pages freed this transaction (reusable next one)
+
+	// live tracks surviving records per shared data page; a page drops to
+	// the free list when its count reaches zero. Persisted as the space-map
+	// chain at each commit.
+	live map[uint32]uint16
+
+	freeChain  []uint32 // pages of the currently committed free-list chain
+	spaceChain []uint32 // pages of the currently committed space-map chain
+
+	stats Stats
+	err   error // sticky: a failed commit poisons the pager
+}
+
+// payloadCap is the usable bytes per page.
+func (pg *pager) payloadCap() int { return pg.pageSize - pageHeaderSize }
+
+func newPage(no uint32, pageSize int) *page {
+	return &page{no: no, buf: make([]byte, pageSize)}
+}
+
+// openPager reads (or initializes) the backing and loads the free list and
+// space map of the winning commit.
+func openPager(b Backing, opt Options) (*pager, error) {
+	pg := &pager{
+		b:        b,
+		pageSize: opt.PageSize,
+		maxClean: opt.MaxCachedPages,
+		clean:    map[uint32]*list.Element{},
+		order:    list.New(),
+		dirty:    map[uint32]*page{},
+		txNew:    map[uint32]bool{},
+		live:     map[uint32]uint16{},
+	}
+	size, err := b.Size()
+	if err != nil {
+		return nil, fmt.Errorf("store: size backing: %w", err)
+	}
+	if size == 0 {
+		return pg, pg.init()
+	}
+	if size < int64(MinPageSize) {
+		return nil, fmt.Errorf("store: %d-byte file is not a paged store", size)
+	}
+	best := -1
+	var bestMeta meta
+	for slot := 0; slot < 2; slot++ {
+		m, ps, err := readMetaSlot(b, slot)
+		if err != nil {
+			continue
+		}
+		if best == -1 || m.seq > bestMeta.seq {
+			best, bestMeta, pg.pageSize = slot, m, ps
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("store: no valid commit record (not a paged store, or both meta slots damaged)")
+	}
+	pg.committed, pg.cur = bestMeta, bestMeta
+	pg.loadChains()
+	return pg, nil
+}
+
+// Meta slots are MinPageSize-sized page images at the fixed offsets 0 and
+// MinPageSize, whatever the data page size — so a torn slot can never hide
+// the other one. Data pages zero and one stay reserved to cover the slots'
+// extent.
+func metaSlotOffset(slot int) int64 { return int64(slot) * MinPageSize }
+
+// readMetaSlot decodes and verifies one fixed-offset meta slot.
+func readMetaSlot(b Backing, slot int) (meta, int, error) {
+	p := newPage(uint32(slot), MinPageSize)
+	if _, err := b.ReadAt(p.buf, metaSlotOffset(slot)); err != nil {
+		return meta{}, 0, err
+	}
+	if err := p.verify(); err != nil {
+		return meta{}, 0, err
+	}
+	m, ps, err := decodeMeta(p)
+	if err != nil {
+		return meta{}, 0, err
+	}
+	if ps < MinPageSize || ps > MaxPageSize {
+		return meta{}, 0, fmt.Errorf("store: implausible page size %d", ps)
+	}
+	return m, ps, nil
+}
+
+// writeMetaSlot seals and writes a commit record into its slot.
+func (pg *pager) writeMetaSlot(m meta) error {
+	slot := int(m.seq % 2)
+	p := newPage(uint32(slot), MinPageSize)
+	p.setTyp(pageMeta)
+	encodeMeta(p, pg.pageSize, m)
+	p.seal()
+	_, err := pg.b.WriteAt(p.buf, metaSlotOffset(slot))
+	return err
+}
+
+// init lays down a fresh empty store: one valid meta slot, two-page extent.
+func (pg *pager) init() error {
+	if pg.pageSize == 0 {
+		pg.pageSize = DefaultPageSize
+	}
+	if pg.pageSize < MinPageSize || pg.pageSize > MaxPageSize {
+		return fmt.Errorf("store: page size %d outside [%d, %d]", pg.pageSize, MinPageSize, MaxPageSize)
+	}
+	pg.cur = meta{pageCount: 2}
+	if err := pg.writeMetaSlot(pg.cur); err != nil {
+		return fmt.Errorf("store: initialize: %w", err)
+	}
+	if err := pg.b.Sync(); err != nil {
+		return fmt.Errorf("store: initialize: %w", err)
+	}
+	pg.committed = pg.cur
+	return nil
+}
+
+// loadChains reads the committed free list and space map. Damage here is
+// degraded, not fatal: an unreadable chain costs reclaimed space (pages
+// leak, deletes stop freeing), never serves wrong data.
+func (pg *pager) loadChains() {
+	if raw, pages, err := pg.readChain(pg.committed.freeHead, pageFree, 4); err == nil {
+		pg.freeChain = pages
+		for off := 0; off+4 <= len(raw); off += 4 {
+			pg.reusable = append(pg.reusable, binary.LittleEndian.Uint32(raw[off:]))
+		}
+	}
+	if raw, pages, err := pg.readChain(pg.committed.spaceHead, pageSpace, 6); err == nil {
+		pg.spaceChain = pages
+		for off := 0; off+6 <= len(raw); off += 6 {
+			pg.live[binary.LittleEndian.Uint32(raw[off:])] = binary.LittleEndian.Uint16(raw[off+4:])
+		}
+	}
+}
+
+// read returns a page, preferring the transaction's dirty copy, then the
+// clean cache, then the backing (checksum-verified). want, when non-zero,
+// asserts the page type — a mismatch is corruption, not a value.
+func (pg *pager) read(no uint32, want byte) (*page, error) {
+	if p, ok := pg.dirty[no]; ok {
+		return pg.checkTyp(p, want)
+	}
+	if e, ok := pg.clean[no]; ok {
+		pg.order.MoveToFront(e)
+		return pg.checkTyp(e.Value.(*page), want)
+	}
+	p := newPage(no, pg.pageSize)
+	if _, err := pg.b.ReadAt(p.buf, int64(no)*int64(pg.pageSize)); err != nil {
+		return nil, fmt.Errorf("store: read page %d: %w", no, err)
+	}
+	if err := p.verify(); err != nil {
+		return nil, err
+	}
+	pg.stats.PagesRead++
+	pg.cacheInsert(p)
+	return pg.checkTyp(p, want)
+}
+
+func (pg *pager) checkTyp(p *page, want byte) (*page, error) {
+	if want != 0 && p.typ() != want {
+		return nil, fmt.Errorf("store: page %d has type %d, want %d", p.no, p.typ(), want)
+	}
+	return p, nil
+}
+
+// cacheInsert adds (or replaces) a clean page, evicting least-recently-used
+// pages beyond the bound — the knob that keeps the resident index footprint
+// constant as the file grows.
+func (pg *pager) cacheInsert(p *page) {
+	if e, ok := pg.clean[p.no]; ok {
+		e.Value = p
+		pg.order.MoveToFront(e)
+		return
+	}
+	pg.clean[p.no] = pg.order.PushFront(p)
+	for pg.maxClean > 0 && len(pg.clean) > pg.maxClean {
+		oldest := pg.order.Back()
+		delete(pg.clean, oldest.Value.(*page).no)
+		pg.order.Remove(oldest)
+	}
+}
+
+func (pg *pager) cacheDrop(no uint32) {
+	if e, ok := pg.clean[no]; ok {
+		delete(pg.clean, no)
+		pg.order.Remove(e)
+	}
+}
+
+// alloc returns a fresh writable page of the given type, reusing a free
+// page when one is available and extending the file otherwise.
+func (pg *pager) alloc(typ byte) *page {
+	var no uint32
+	if n := len(pg.reusable); n > 0 {
+		no = pg.reusable[n-1]
+		pg.reusable = pg.reusable[:n-1]
+		pg.cacheDrop(no)
+	} else {
+		no = pg.cur.pageCount
+		pg.cur.pageCount++
+	}
+	p := newPage(no, pg.pageSize)
+	p.setTyp(typ)
+	pg.dirty[no] = p
+	pg.txNew[no] = true
+	return p
+}
+
+// allocExtend allocates strictly by extending the file — used for the
+// free-list and space-map chains, whose contents must not change while they
+// are being serialized.
+func (pg *pager) allocExtend(typ byte) *page {
+	no := pg.cur.pageCount
+	pg.cur.pageCount++
+	p := newPage(no, pg.pageSize)
+	p.setTyp(typ)
+	pg.txNew[no] = true
+	return p
+}
+
+// free retires a page. A page allocated by this very transaction was never
+// committed, so it can be reused immediately; a committed page enters the
+// pending set and becomes reusable only after the next commit record is
+// durable — before that, a crash rolls back to a state that still
+// references it.
+func (pg *pager) free(no uint32) {
+	if pg.txNew[no] {
+		delete(pg.txNew, no)
+		delete(pg.dirty, no)
+		pg.reusable = append(pg.reusable, no)
+		return
+	}
+	pg.pending = append(pg.pending, no)
+	pg.cacheDrop(no)
+}
+
+// shadow applies copy-on-write: it returns a writable copy of the page,
+// relocated to a freshly allocated number when the original is committed.
+// The caller must re-point every reference at the returned page's number.
+func (pg *pager) shadow(no uint32, want byte) (*page, error) {
+	if pg.txNew[no] {
+		return pg.read(no, want)
+	}
+	orig, err := pg.read(no, want)
+	if err != nil {
+		return nil, err
+	}
+	p := pg.alloc(orig.typ())
+	copy(p.buf, orig.buf)
+	pg.free(no)
+	return p, nil
+}
+
+// mutated reports whether the open transaction changed anything worth a
+// commit record.
+func (pg *pager) mutated() bool {
+	return len(pg.dirty) > 0 || len(pg.pending) > 0 || pg.cur != pg.committed
+}
+
+// commit makes the open transaction durable: data and overflow pages are
+// written first, then the B-tree pages, then the free-list and space-map
+// chains, then one fsync; only then is the commit record written to the
+// alternate meta slot and fsynced. A crash at any byte boundary leaves the
+// previous commit record intact and pointing exclusively at pages this
+// transaction never touched.
+func (pg *pager) commit() error {
+	if pg.err != nil {
+		return pg.err
+	}
+	if !pg.mutated() {
+		return nil
+	}
+	// Retire the previous commit's chains; their pages join the free set
+	// being published by this commit.
+	for _, no := range pg.freeChain {
+		pg.free(no)
+	}
+	for _, no := range pg.spaceChain {
+		pg.free(no)
+	}
+	pg.freeChain, pg.spaceChain = nil, nil
+
+	// Size and allocate the chain pages before computing the published
+	// free set, taking them out of the reusable set first so steady-state
+	// churn cycles a constant set of pages instead of compounding the file
+	// extent and the free list at every commit. The free-list page count
+	// is an upper bound — allocation can only shrink the set it records.
+	spaceN := pg.chainPages(6, len(pg.live))
+	freeN := pg.chainPages(4, len(pg.reusable)+len(pg.pending))
+	pool := make([]*page, spaceN+freeN)
+	for i := range pool {
+		typ := byte(pageSpace)
+		if i >= spaceN {
+			typ = pageFree
+		}
+		pool[i] = pg.allocChain(typ)
+	}
+	spacePages, freePages := pool[:spaceN], pool[spaceN:]
+
+	// The free set as of this commit: everything still reusable plus
+	// everything freed during the transaction, deduplicated and sorted so
+	// the chain (and therefore reuse order) is deterministic.
+	seen := make(map[uint32]bool, len(pg.reusable)+len(pg.pending))
+	newFree := make([]uint32, 0, len(pg.reusable)+len(pg.pending))
+	for _, s := range [][]uint32{pg.reusable, pg.pending} {
+		for _, no := range s {
+			if !seen[no] {
+				seen[no] = true
+				newFree = append(newFree, no)
+			}
+		}
+	}
+	sort.Slice(newFree, func(i, j int) bool { return newFree[i] < newFree[j] })
+
+	// Serialize the space map (sorted for determinism) and the free list.
+	livePages := make([]uint32, 0, len(pg.live))
+	for no := range pg.live {
+		livePages = append(livePages, no)
+	}
+	sort.Slice(livePages, func(i, j int) bool { return livePages[i] < livePages[j] })
+	spaceHead := pg.fillChain(spacePages, 6, len(livePages), func(i int, dst []byte) {
+		binary.LittleEndian.PutUint32(dst, livePages[i])
+		binary.LittleEndian.PutUint16(dst[4:], pg.live[livePages[i]])
+	})
+	freeHead := pg.fillChain(freePages, 4, len(newFree), func(i int, dst []byte) {
+		binary.LittleEndian.PutUint32(dst, newFree[i])
+	})
+
+	// Write order: records before index before chains, one durability
+	// point, then the commit record.
+	fail := func(err error) error {
+		pg.err = fmt.Errorf("store: commit failed, store is read-back-only: %w", err)
+		return pg.err
+	}
+	for _, pass := range [][]byte{{pageData, pageOverflow}, {pageLeaf, pageBranch}} {
+		for no, p := range pg.dirty {
+			match := false
+			for _, t := range pass {
+				match = match || p.typ() == t
+			}
+			if !match {
+				continue
+			}
+			p.seal()
+			if _, err := pg.b.WriteAt(p.buf, int64(no)*int64(pg.pageSize)); err != nil {
+				return fail(err)
+			}
+			pg.stats.PagesWritten++
+		}
+	}
+	for _, p := range spacePages {
+		p.seal()
+		if _, err := pg.b.WriteAt(p.buf, int64(p.no)*int64(pg.pageSize)); err != nil {
+			return fail(err)
+		}
+		pg.stats.PagesWritten++
+	}
+	for _, p := range freePages {
+		p.seal()
+		if _, err := pg.b.WriteAt(p.buf, int64(p.no)*int64(pg.pageSize)); err != nil {
+			return fail(err)
+		}
+		pg.stats.PagesWritten++
+	}
+	if err := pg.b.Sync(); err != nil {
+		return fail(err)
+	}
+	next := pg.cur
+	next.seq = pg.committed.seq + 1
+	next.freeHead, next.spaceHead = freeHead, spaceHead
+	if err := pg.writeMetaSlot(next); err != nil {
+		return fail(err)
+	}
+	if err := pg.b.Sync(); err != nil {
+		return fail(err)
+	}
+
+	// The transaction is durable: publish it in memory.
+	pg.committed, pg.cur = next, next
+	for _, p := range spacePages {
+		pg.cacheInsert(p)
+	}
+	for _, p := range freePages {
+		pg.cacheInsert(p)
+	}
+	for _, p := range pg.dirty {
+		pg.cacheInsert(p)
+	}
+	pg.dirty = map[uint32]*page{}
+	pg.txNew = map[uint32]bool{}
+	pg.reusable = newFree
+	pg.pending = nil
+	pg.freeChain = pageNos(freePages)
+	pg.spaceChain = pageNos(spacePages)
+	pg.stats.Commits++
+	return nil
+}
+
+func pageNos(pages []*page) []uint32 {
+	nos := make([]uint32, len(pages))
+	for i, p := range pages {
+		nos[i] = p.no
+	}
+	return nos
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package store
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; its shadow memory would fail the footprint pins.
+const raceEnabled = false
