@@ -1,0 +1,282 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/tenant"
+	"repro/internal/tree"
+)
+
+// loadConfig carries the -exp load flag values.
+type loadConfig struct {
+	out         string  // BENCH_load.json path
+	backend     string  // "local" (in-process quota'd server) or a server URL
+	tenantSweep string  // comma-separated concurrent-tenant counts, e.g. "1,2,4"
+	batches     int     // batches each tenant submits
+	jobsPerReq  int     // jobs per batch
+	nodes       int     // tree size of each tenant's corpus
+	rate        float64 // per-tenant token-bucket refill (local backend)
+	burst       int     // per-tenant token-bucket capacity (local backend)
+	queue       int     // per-tenant queue-depth quota (local backend)
+	requireRej  bool    // fail unless the sweep saw at least one rejection
+}
+
+// loadTenantStats is one synthetic tenant's outcome within a run.
+type loadTenantStats struct {
+	Tenant       string `json:"tenant"`
+	Batches      int    `json:"batches"`
+	AcceptedJobs int64  `json:"accepted_jobs"`
+	RejectedJobs int64  `json:"rejected_jobs"`
+	Throttles    int64  `json:"throttles"`
+}
+
+// loadRun is one row of BENCH_load.json: N concurrent tenants driving the
+// server closed-loop, with latency percentiles over their batch round
+// trips and aggregate throughput.
+type loadRun struct {
+	Tenants          int               `json:"tenants"`
+	JobsPerBatch     int               `json:"jobs_per_batch"`
+	BatchesPerTenant int               `json:"batches_per_tenant"`
+	P50Ms            float64           `json:"p50_ms"`
+	P99Ms            float64           `json:"p99_ms"`
+	RowsPerSec       float64           `json:"rows_per_sec"`
+	AcceptedJobs     int64             `json:"accepted_jobs"`
+	RejectedJobs     int64             `json:"rejected_jobs"`
+	Throttles        int64             `json:"throttles"`
+	PerTenant        []loadTenantStats `json:"per_tenant"`
+}
+
+// loadReport is the top-level BENCH_load.json document.
+type loadReport struct {
+	Description string    `json:"description"`
+	Backend     string    `json:"backend"`
+	RatePerSec  float64   `json:"tenant_rate_per_sec"`
+	Burst       int       `json:"tenant_burst"`
+	MaxQueued   int       `json:"tenant_max_queued"`
+	Runs        []loadRun `json:"runs"`
+}
+
+// loadCorpus builds one tenant's instances: distinct trees per tenant
+// (seeded by the tenant index) so corpora never collide across tenants.
+func loadCorpus(tenantIdx, jobsPerReq, nodes int) ([]schedule.Instance, []schedule.Job, error) {
+	algos := []string{"postorder", "liu", "minmem"}
+	nInsts := (jobsPerReq + len(algos) - 1) / len(algos)
+	var insts []schedule.Instance
+	for i := 0; i < nInsts; i++ {
+		rng := rand.New(rand.NewSource(int64(1000*tenantIdx + i)))
+		tr, err := tree.Random(rng, tree.RandomOptions{Nodes: nodes, MaxF: 50, MaxN: 20, Attach: tree.AttachKind(i % 3)})
+		if err != nil {
+			return nil, nil, err
+		}
+		insts = append(insts, schedule.Instance{Name: fmt.Sprintf("t%d-rand-%d", tenantIdx, i), Tree: tr})
+	}
+	jobs := schedule.MinMemoryGrid(insts, algos)
+	if len(jobs) > jobsPerReq {
+		jobs = jobs[:jobsPerReq]
+	}
+	return insts, jobs, nil
+}
+
+// percentile reads the q-quantile (0 < q ≤ 1) off sorted samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runLoad is the -exp load mode: the multi-tenant load harness. For each
+// tenant count in cfg.tenantSweep it drives that many concurrent synthetic
+// tenants against the server — each uploads its own tree corpus, then
+// submits cfg.batches by-digest batches closed-loop, retrying 429s with
+// the server's Retry-After — and records per-run p50/p99 batch latency,
+// aggregate rows/sec and accepted/rejected job counts into cfg.out
+// (BENCH_load.json), next to BENCH_solver.json.
+//
+// With cfg.backend "local" the harness spins an in-process server quota'd
+// by cfg.rate/cfg.burst/cfg.queue; pointing it at a running scheduled
+// server's URL load-tests that instead (the quota flags then describe
+// nothing — the server's own -tenant-* flags rule).
+func runLoad(w io.Writer, cfg loadConfig) error {
+	if cfg.queue > 0 && cfg.queue < cfg.jobsPerReq {
+		return fmt.Errorf("-load-queue %d is below -load-jobs %d: every batch would be rejected forever", cfg.queue, cfg.jobsPerReq)
+	}
+	var sweep []int
+	for _, s := range strings.Split(cfg.tenantSweep, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -load-tenants entry %q", s)
+		}
+		sweep = append(sweep, n)
+	}
+	if len(sweep) == 0 {
+		return fmt.Errorf("-load-tenants selected no tenant counts")
+	}
+	maxTenants := sweep[0]
+	for _, n := range sweep {
+		if n > maxTenants {
+			maxTenants = n
+		}
+	}
+
+	base := cfg.backend
+	backendName := cfg.backend
+	if cfg.backend == "local" {
+		reg := tenant.NewRegistry(tenant.Limits{
+			RatePerSec: cfg.rate, Burst: cfg.burst, MaxQueued: cfg.queue,
+		})
+		srv := httptest.NewServer(service.NewServerWith(service.ServerOptions{
+			Tenants:     reg,
+			Concurrency: maxTenants, // tenants contend on quotas, not on one eval slot
+		}).Handler())
+		defer srv.Close()
+		base = srv.URL
+		backendName = fmt.Sprintf("local (in-process, rate %g/s burst %d queue %d)", cfg.rate, cfg.burst, cfg.queue)
+	} else if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return fmt.Errorf("unknown -load-backend %q (want local or an http(s) URL)", base)
+	}
+
+	report := loadReport{
+		Description: "multi-tenant load harness (cmd/experiments -exp load): N concurrent synthetic tenants submit by-digest batches closed-loop, retrying 429s per the server's Retry-After; p50/p99 are batch round-trip latencies, rows_per_sec counts accepted rows over the run's wall clock, rejected_jobs counts jobs bounced by admission control before their retry landed",
+		Backend:     backendName,
+		RatePerSec:  cfg.rate,
+		Burst:       cfg.burst,
+		MaxQueued:   cfg.queue,
+	}
+	fmt.Fprintf(w, "Load — %d batches × %d jobs per tenant on backend %s\n", cfg.batches, cfg.jobsPerReq, backendName)
+	fmt.Fprintf(w, "  %-8s %10s %10s %12s %12s %12s\n", "tenants", "p50 ms", "p99 ms", "rows/sec", "accepted", "rejected")
+
+	var totalRejected int64
+	for _, nTenants := range sweep {
+		run := loadRun{
+			Tenants:          nTenants,
+			JobsPerBatch:     cfg.jobsPerReq,
+			BatchesPerTenant: cfg.batches,
+		}
+		var (
+			mu        sync.Mutex
+			latencies []float64
+			wg        sync.WaitGroup
+			runErr    error
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if runErr == nil {
+				runErr = err
+			}
+			mu.Unlock()
+		}
+		perTenant := make([]loadTenantStats, nTenants)
+		start := time.Now()
+		for ti := 0; ti < nTenants; ti++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				name := fmt.Sprintf("load-%02d", ti)
+				insts, jobs, err := loadCorpus(ti, cfg.jobsPerReq, cfg.nodes)
+				if err != nil {
+					fail(err)
+					return
+				}
+				var rejected, throttles int64
+				client := service.NewClient(base, nil)
+				client.Tenant = name
+				client.ByDigest = true
+				client.Retries = 16
+				client.RetryBackoff = 50 * time.Millisecond
+				client.OnThrottle = func(time.Duration) {
+					throttles++
+					rejected += int64(len(jobs))
+				}
+				var trees []*tree.Tree
+				for _, inst := range insts {
+					trees = append(trees, inst.Tree)
+				}
+				if _, err := client.UploadTrees(context.Background(), trees); err != nil {
+					fail(fmt.Errorf("tenant %s: %w", name, err))
+					return
+				}
+				var accepted int64
+				for b := 0; b < cfg.batches; b++ {
+					t0 := time.Now()
+					rows, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+					if err != nil {
+						fail(fmt.Errorf("tenant %s batch %d: %w", name, b, err))
+						return
+					}
+					accepted += int64(len(rows))
+					mu.Lock()
+					latencies = append(latencies, float64(time.Since(t0).Microseconds())/1000)
+					mu.Unlock()
+				}
+				perTenant[ti] = loadTenantStats{
+					Tenant: name, Batches: cfg.batches,
+					AcceptedJobs: accepted, RejectedJobs: rejected, Throttles: throttles,
+				}
+			}(ti)
+		}
+		wg.Wait()
+		if runErr != nil {
+			return runErr
+		}
+		elapsed := time.Since(start).Seconds()
+		for _, ts := range perTenant {
+			run.AcceptedJobs += ts.AcceptedJobs
+			run.RejectedJobs += ts.RejectedJobs
+			run.Throttles += ts.Throttles
+		}
+		totalRejected += run.RejectedJobs
+		sort.Float64s(latencies)
+		run.P50Ms = percentile(latencies, 0.50)
+		run.P99Ms = percentile(latencies, 0.99)
+		if elapsed > 0 {
+			run.RowsPerSec = float64(run.AcceptedJobs) / elapsed
+		}
+		run.PerTenant = perTenant
+		report.Runs = append(report.Runs, run)
+		fmt.Fprintf(w, "  %-8d %10.2f %10.2f %12.0f %12d %12d\n",
+			run.Tenants, run.P50Ms, run.P99Ms, run.RowsPerSec, run.AcceptedJobs, run.RejectedJobs)
+	}
+	fmt.Fprintln(w)
+	if cfg.requireRej && totalRejected == 0 {
+		return fmt.Errorf("-load-require-rejections: admission control never rejected a batch (loosen the sweep or tighten the quotas)")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(cfg.out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d load runs to %s\n", len(report.Runs), cfg.out)
+	return nil
+}

@@ -285,3 +285,66 @@ func TestBenchMode(t *testing.T) {
 		}
 	}
 }
+
+// -exp load writes a well-formed BENCH_load.json: per tenant count, the
+// latency percentiles and throughput are positive, accepted jobs match the
+// configured volume, and with quotas this tight admission control must
+// have rejected work (-load-require-rejections would exit nonzero
+// otherwise — the CI smoke job leans on exactly that).
+func TestLoadMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load mode backs off for whole seconds on 429s")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var sb strings.Builder
+	err := run([]string{"-exp", "load",
+		"-load-tenants", "1,2", "-load-batches", "2", "-load-jobs", "6",
+		"-load-nodes", "120", "-load-rate", "20", "-load-burst", "6",
+		"-load-require-rejections", "-load-out", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Backend string `json:"backend"`
+		Runs    []struct {
+			Tenants      int     `json:"tenants"`
+			P50Ms        float64 `json:"p50_ms"`
+			P99Ms        float64 `json:"p99_ms"`
+			RowsPerSec   float64 `json:"rows_per_sec"`
+			AcceptedJobs int64   `json:"accepted_jobs"`
+			RejectedJobs int64   `json:"rejected_jobs"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_load.json is not valid JSON: %v", err)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("recorded %d runs, want 2", len(report.Runs))
+	}
+	for _, r := range report.Runs {
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.RowsPerSec <= 0 {
+			t.Errorf("tenants=%d: implausible latency/throughput: %+v", r.Tenants, r)
+		}
+		if want := int64(r.Tenants * 2 * 6); r.AcceptedJobs != want {
+			t.Errorf("tenants=%d: accepted %d jobs, want %d", r.Tenants, r.AcceptedJobs, want)
+		}
+		if r.RejectedJobs == 0 {
+			t.Errorf("tenants=%d: quotas this tight must reject work", r.Tenants)
+		}
+	}
+
+	// A queue quota below the batch size would retry forever: refused up front.
+	if err := run([]string{"-exp", "load", "-load-jobs", "8", "-load-queue", "4"}, io.Discard); err == nil {
+		t.Fatal("-load-queue below -load-jobs accepted")
+	}
+	if err := run([]string{"-exp", "load", "-load-tenants", "zero"}, io.Discard); err == nil {
+		t.Fatal("bad -load-tenants accepted")
+	}
+	if err := run([]string{"-exp", "load", "-load-backend", "ftp://nope"}, io.Discard); err == nil {
+		t.Fatal("bad -load-backend accepted")
+	}
+}

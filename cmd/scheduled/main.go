@@ -21,12 +21,34 @@
 // are pushed in and answer later batches here, so a fleet of cached servers
 // converges on one warm working set.
 //
+// The server is multi-tenant: callers name their tenant in the X-Tenant
+// header, upload trees to a per-tenant corpus on /v1/trees, and are
+// admission-controlled per tenant. -tenant-rate and -tenant-burst shape a
+// token bucket in jobs per second, -tenant-queue bounds each tenant's
+// admitted-but-unfinished jobs and -tenant-trees bounds its corpus;
+// over-limit batches are rejected with 429 and a Retry-After hint that
+// service.Client honors. -concurrency lifts the one-batch-at-a-time
+// evaluation bound. Everything — batch outcomes, cache and store counters,
+// per-tenant admission stats — is scrapeable from /metrics in the
+// Prometheus text format.
+//
+// With -children the server is a front door: batches fan out over the
+// named child servers through the shard scheduler instead of evaluating
+// locally, and -admit-depth sheds work with 429 when every healthy child's
+// queue is already that deep. The shard's scheduling counters then appear
+// on /metrics too.
+//
+// On SIGINT/SIGTERM the server drains: in-flight batches finish (bounded
+// by -drain), the row store is flushed and closed, and the process exits 0.
+//
 // Usage:
 //
 //	scheduled -addr 127.0.0.1:8080
 //	scheduled -addr :9090 -workers 8 -cache rows.jsonl -cache-max 100000
 //	scheduled -addr :9091 -cache rows.bin -cache-format binary
 //	scheduled -addr :9092 -cache rows.paged -cache-format paged
+//	scheduled -addr :8080 -tenant-rate 500 -tenant-burst 2000 -tenant-queue 5000
+//	scheduled -addr :8080 -children http://10.0.0.1:9090,http://10.0.0.2:9090 -admit-depth 256
 //	scheduled -list
 package main
 
@@ -45,6 +67,7 @@ import (
 
 	"repro/internal/schedule"
 	"repro/internal/service"
+	"repro/internal/tenant"
 
 	// Register every MinMemory solver and MinIO policy/oracle.
 	_ "repro/internal/minio"
@@ -64,9 +87,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scheduled", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", 0, "per-batch worker-pool bound (0 = GOMAXPROCS)")
+	concurrency := fs.Int("concurrency", 0, "batches evaluated at once (0 = 1, strict serialization)")
 	cache := fs.String("cache", "", "row-store path; evaluate through a content-addressed result cache")
 	cacheMax := fs.Int("cache-max", 0, "row-store entry bound: LRU-evict beyond this many rows (0 = unbounded)")
 	cacheFormat := fs.String("cache-format", "jsonl", "row-store file form: "+strings.Join(schedule.StoreFormatNames(), " | "))
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant token-bucket refill, jobs/sec (0 = no rate limit)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant token-bucket capacity in jobs (0 = max(rate, 64))")
+	tenantQueue := fs.Int("tenant-queue", 0, "per-tenant bound on admitted-but-unfinished jobs (0 = unbounded)")
+	tenantTrees := fs.Int("tenant-trees", 0, "per-tenant corpus bound in distinct trees (0 = unbounded)")
+	children := fs.String("children", "", "comma-separated child server URLs; fan batches out over them instead of evaluating locally")
+	admitDepth := fs.Int("admit-depth", 0, "shed batches with 429 when every healthy child queues this many jobs (0 = never; needs -children)")
+	drain := fs.Duration("drain", 5*time.Second, "shutdown bound on draining in-flight batches")
 	list := fs.Bool("list", false, "list the registered algorithms and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,9 +112,38 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 		return nil
 	}
+
 	var backend schedule.Backend = schedule.Local{}
+	var shard *schedule.Shard
+	if *children != "" {
+		var kids []schedule.Backend
+		for _, url := range strings.Split(*children, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			c := service.NewClient(url, nil)
+			c.Retries = 2
+			kids = append(kids, c)
+		}
+		var err error
+		shard, err = schedule.NewShardWith(schedule.ShardOptions{MaxQueueDepth: *admitDepth}, kids...)
+		if err != nil {
+			return err
+		}
+		backend = shard
+		fmt.Fprintf(w, "scheduled: front door over %d children (admit depth %d)\n", len(kids), *admitDepth)
+	} else if *admitDepth != 0 {
+		return fmt.Errorf("-admit-depth needs -children: a local backend has no child queues to measure")
+	}
+
 	var cached *schedule.Cached
 	var store schedule.RowStore
+	defer func() {
+		if store != nil {
+			store.Close()
+		}
+	}()
 	if *cache != "" {
 		format, err := schedule.ParseStoreFormat(*cacheFormat)
 		if err != nil {
@@ -93,11 +153,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer store.Close()
 		cached = schedule.NewCached(backend, store)
 		backend = cached
 		fmt.Fprintf(w, "scheduled: row store %s holds %d rows\n", *cache, store.Len())
 	}
+
+	tenants := tenant.NewRegistry(tenant.Limits{
+		RatePerSec: *tenantRate,
+		Burst:      *tenantBurst,
+		MaxQueued:  *tenantQueue,
+		MaxTrees:   *tenantTrees,
+	})
+	if *tenantRate > 0 || *tenantQueue > 0 || *tenantTrees > 0 {
+		fmt.Fprintf(w, "scheduled: tenant quotas rate %g/s burst %d queue %d trees %d\n",
+			*tenantRate, *tenantBurst, *tenantQueue, *tenantTrees)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -109,7 +180,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		warmStore = store
 	}
 	srv := &http.Server{Handler: service.NewServerWith(service.ServerOptions{
-		Backend: backend, Workers: *workers, Store: warmStore,
+		Backend:     backend,
+		Workers:     *workers,
+		Store:       warmStore,
+		Tenants:     tenants,
+		Concurrency: *concurrency,
+		Cache:       cached,
+		Rows:        store,
+		Shard:       shard,
 	}).Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -118,10 +196,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+
+	// Drain: stop accepting, let in-flight batches finish (bounded), then
+	// flush the store. A stuck drain force-closes but still exits cleanly —
+	// the store flush below is what must not be skipped.
+	fmt.Fprintf(w, "scheduled: draining in-flight batches (up to %v)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		return err
+		srv.Close()
+		fmt.Fprintf(w, "scheduled: drain timed out after %v; connections closed\n", *drain)
 	}
 	if err := <-serveErr; err != http.ErrServerClosed {
 		return err
@@ -129,6 +213,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if cached != nil {
 		hits, misses := cached.Counters()
 		fmt.Fprintf(w, "scheduled: served %d cache hits, %d misses, %d evictions\n", hits, misses, store.Evictions())
+	}
+	if store != nil {
+		s := store
+		store = nil
+		if err := s.Close(); err != nil {
+			return fmt.Errorf("closing row store: %w", err)
+		}
+		fmt.Fprintf(w, "scheduled: row store flushed\n")
 	}
 	return nil
 }

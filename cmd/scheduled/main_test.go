@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"path/filepath"
@@ -207,6 +208,106 @@ func TestServeWithPagedCacheAndRestart(t *testing.T) {
 	out = shutdown()
 	if !strings.Contains(out, "2 cache hits, 0 misses") {
 		t.Fatalf("restarted server did not serve from the paged store:\n%s", out)
+	}
+}
+
+// Tenant quota flags wire through: an over-rate batch is a 429 with
+// Retry-After, the rejection is scrapeable from /metrics, and shutdown
+// drains cleanly with the store flushed.
+func TestServeWithQuotasAndMetrics(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "rows.jsonl")
+	base, shutdown := startScheduled(t,
+		"-cache", cache, "-tenant-rate", "0.5", "-tenant-burst", "2")
+	client := service.NewClient(base, nil)
+	client.Tenant = "acme"
+	h, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "harpoon", Tree: h, Algorithm: "postorder"},
+		{Instance: "harpoon", Tree: h, Algorithm: "minmem"},
+	}
+	if _, err := client.Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The bucket (burst 2) is empty and refills at 0.5/s: this is a 429.
+	_, err = client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	var se *service.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate batch: err %v, want a 429", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("429 without a Retry-After hint: %+v", se)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`scheduled_batches_total{outcome="ok"} 1`,
+		`scheduled_batches_total{outcome="rejected"} 1`,
+		`scheduled_tenant_accepted_jobs_total{tenant="acme"} 2`,
+		`scheduled_tenant_rejected_jobs_total{tenant="acme",reason="rate"} 2`,
+		"scheduled_cache_misses_total 2",
+	} {
+		if !strings.Contains(string(scrape), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, scrape)
+		}
+	}
+	out := shutdown()
+	for _, want := range []string{"draining in-flight batches", "row store flushed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("shutdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// -children turns the server into a front door: batches fan out over the
+// child servers, results match, and the shard counters reach /metrics.
+func TestServeFrontDoorShard(t *testing.T) {
+	childA, shutdownA := startScheduled(t)
+	childB, shutdownB := startScheduled(t)
+	front, shutdownFront := startScheduled(t,
+		"-children", childA+","+childB, "-admit-depth", "1024")
+	client := service.NewClient(front, nil)
+	h, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "harpoon", Tree: h, Algorithm: "postorder"},
+		{Instance: "harpoon", Tree: h, Algorithm: "minmem"},
+	}
+	rows, err := client.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Memory != 71 || rows[1].Memory != 35 {
+		t.Fatalf("wrong fanned-out results: %+v", rows)
+	}
+	resp, err := http.Get(front + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"scheduled_shard_load_sheds_total 0",
+		`scheduled_shard_child_chunks_total{child="`,
+	} {
+		if !strings.Contains(string(scrape), want) {
+			t.Fatalf("front door /metrics missing %q:\n%s", want, scrape)
+		}
+	}
+	shutdownFront()
+	shutdownA()
+	shutdownB()
+	// -admit-depth without -children cannot work: there is no queue to measure.
+	if err := run(context.Background(), []string{"-admit-depth", "8"}, io.Discard); err == nil {
+		t.Fatal("-admit-depth without -children accepted")
 	}
 }
 

@@ -532,6 +532,17 @@ func (c *Cached) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, 
 	return rows, nil
 }
 
+// Admit implements Admitter by delegating to the inner backend when it is
+// one: a cache in front of a shard must not hide the shard's admission
+// verdict, since a shed batch would otherwise just queue behind the cache.
+// An inner backend without admission control admits everything.
+func (c *Cached) Admit(jobs int) error {
+	if a, ok := c.inner.(Admitter); ok {
+		return a.Admit(jobs)
+	}
+	return nil
+}
+
 // WarmRows implements RowWarmer: the entries land in the cache's store, so
 // a Cached child of a Shard receives cross-shard cache warming — rows
 // computed by a sibling answer later hits here without re-running anything.

@@ -65,6 +65,13 @@ type ShardOptions struct {
 	// chunk is warm on every cache in the fleet. Forwarding is best-effort:
 	// failures advance the WarmErrors counter but never fail the chunk.
 	Warm bool
+	// MaxQueueDepth enables admission control (Shard.Admit): when every
+	// healthy (non-quarantined) child already has at least this many jobs
+	// in flight, new work is shed with an *OverloadError instead of
+	// queueing behind the backlog. ≤ 0 disables admission control —
+	// Admit always accepts. The bound applies to admission only; chunks
+	// already inside a stream still dispatch normally.
+	MaxQueueDepth int
 
 	// now is the test hook for the scheduler clock; nil selects time.Now.
 	now func() time.Time
@@ -91,11 +98,36 @@ func (o ShardOptions) withDefaults() ShardOptions {
 
 // HealthChecker is the optional probe interface of a shard child: a
 // quarantined child whose backoff has expired is probed with Health and
-// readmitted only when it returns nil. service.Client implements it over the
-// server's algorithm-list endpoint. Children without the interface are
+// readmitted only when it returns nil. service.Client implements it over
+// the server's cheap /healthz endpoint. Children without the interface are
 // readmitted on backoff expiry alone.
 type HealthChecker interface {
 	Health(ctx context.Context) error
+}
+
+// Admitter is the optional admission-control interface of a backend: a
+// server asks its backend whether a batch of the given size should be
+// accepted before committing the response stream. Shard implements it
+// (ShardOptions.MaxQueueDepth) by shedding load when every healthy
+// child's queue is deep; Cached delegates to its inner backend. A non-nil
+// error — normally an *OverloadError — means reject now and retry later.
+type Admitter interface {
+	Admit(jobs int) error
+}
+
+// OverloadError is the Admitter rejection: the backend's queues are deep
+// everywhere and new work should back off rather than pile on. The
+// service layer surfaces it as HTTP 429 with a Retry-After header.
+type OverloadError struct {
+	// RetryAfter estimates when admission can succeed: the time for the
+	// shallowest healthy queue to drain below the bound at its observed
+	// throughput, clamped to a sane range.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("schedule: backend overloaded, retry after %s", e.RetryAfter)
 }
 
 // WarmEntry is one row keyed for a content-addressed store, the unit of
@@ -205,6 +237,9 @@ type ShardCounters struct {
 	// WarmErrors counts failed warm forwards; warming is best-effort, so
 	// these never fail a chunk.
 	WarmErrors int64
+	// LoadSheds counts Admit rejections: batches turned away because
+	// every healthy child's queue held at least MaxQueueDepth jobs.
+	LoadSheds int64
 }
 
 // ShardChildStats is a snapshot of one child's scheduler state, for

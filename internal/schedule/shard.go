@@ -51,6 +51,7 @@ type Shard struct {
 	readmissions atomic.Int64
 	warmedRows   atomic.Int64
 	warmErrors   atomic.Int64
+	sheds        atomic.Int64
 
 	digestMu      sync.Mutex
 	digests       map[*tree.Tree]tree.Digest
@@ -114,6 +115,7 @@ func (s *Shard) Counters() ShardCounters {
 		Readmissions:  s.readmissions.Load(),
 		WarmedRows:    s.warmedRows.Load(),
 		WarmErrors:    s.warmErrors.Load(),
+		LoadSheds:     s.sheds.Load(),
 	}
 }
 
@@ -138,6 +140,55 @@ func (s *Shard) ChildStats() []ShardChildStats {
 		}
 	}
 	return stats
+}
+
+// Admission-control clamps on the OverloadError.RetryAfter estimate: the
+// drain-time guess divides by a windowed throughput that may be tiny or
+// absent early on, so the advertised backoff is kept within a range that
+// neither hammers an overloaded fleet nor strands a recovering one.
+const (
+	minShedRetryAfter = time.Second
+	maxShedRetryAfter = 30 * time.Second
+)
+
+// Admit implements Admitter when ShardOptions.MaxQueueDepth is set: the
+// batch is accepted while any healthy (non-quarantined) child has fewer
+// than MaxQueueDepth jobs in flight, and shed with an *OverloadError
+// otherwise — including when every child is quarantined, since work
+// admitted then could only queue behind the bench. The RetryAfter
+// estimate is the shallowest healthy queue's drain time at its observed
+// throughput. With MaxQueueDepth ≤ 0 every batch is admitted.
+func (s *Shard) Admit(jobs int) error {
+	if s.opt.MaxQueueDepth <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	drain := time.Duration(-1)
+	for i := range s.children {
+		c := &s.children[i]
+		if c.quarantined {
+			continue
+		}
+		if c.inFlightJobs < s.opt.MaxQueueDepth {
+			return nil
+		}
+		// Excess over where admission reopens, drained at the child's pace.
+		excess := float64(c.inFlightJobs - s.opt.MaxQueueDepth + 1)
+		if tp, ok := c.throughput(); ok && tp > 0 {
+			if d := time.Duration(excess / tp * float64(time.Second)); drain < 0 || d < drain {
+				drain = d
+			}
+		}
+	}
+	if drain < minShedRetryAfter {
+		drain = minShedRetryAfter
+	}
+	if drain > maxShedRetryAfter {
+		drain = maxShedRetryAfter
+	}
+	s.sheds.Add(1)
+	return &OverloadError{RetryAfter: drain}
 }
 
 // Stream implements Backend: chunks fan out across the children under the

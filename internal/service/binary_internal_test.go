@@ -158,7 +158,7 @@ func TestBinaryResponseToJSONRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := encodeBatch(jobs, 0)
+	req, err := encodeBatch(jobs, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,6 +49,42 @@ type Client struct {
 	// understands both; servers negotiate per request and a shard may mix
 	// JSON and binary children freely.
 	Binary bool
+	// Tenant names the tenant every request runs as (the X-Tenant header);
+	// empty selects the server's "default" tenant. Quotas, rejection
+	// counters and the uploaded-tree corpus are all per tenant.
+	Tenant string
+	// ByDigest makes Run reference each job's tree by digest instead of
+	// inlining its .tree text: the trees must have been uploaded to the
+	// tenant's corpus first (UploadTrees), and the batch then carries 64
+	// bytes per distinct tree instead of the full text. Incompatible with
+	// Binary, whose wire form always inlines trees — Run rejects the
+	// combination.
+	ByDigest bool
+	// OnThrottle, when set, is called once per 429 (over-quota) response
+	// with the server's Retry-After delay, before any retry sleep — load
+	// harnesses count rejections with it, and operators can log or meter
+	// backpressure. Called from Run's goroutine; keep it fast.
+	OnThrottle func(retryAfter time.Duration)
+}
+
+// StatusError is a non-200 response from the server: the probed path, the
+// status code and the (truncated) body. Batch rejections carry the
+// server's Retry-After hint, which Run's retry loop honors.
+type StatusError struct {
+	// Path is the request path that failed.
+	Path string
+	// Code is the HTTP status code.
+	Code int
+	// Msg is the response body, truncated.
+	Msg string
+	// RetryAfter is the parsed Retry-After header (0 when absent) — how
+	// long the server asked the client to back off.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("service: %s: %s", e.Path, e.Msg)
 }
 
 // DefaultRetryBackoff is the initial retry delay when Client.RetryBackoff
@@ -92,20 +129,89 @@ func (c *Client) Algorithms(ctx context.Context) ([]AlgorithmInfo, error) {
 }
 
 // Health implements schedule.HealthChecker: it probes the server's
-// algorithm-list endpoint — the cheapest call that proves the registry is
-// actually serving, not just that a socket accepts — and returns nil when
-// the server responds with a decodable algorithm list. The Shard scheduler
-// uses it to decide whether a quarantined server has recovered and can be
-// readmitted.
+// /healthz endpoint — a fixed-cost status report, unlike /v1/algorithms,
+// which allocates and serializes the full registry on every call — and
+// returns nil when the server answers 200 with a decodable status body.
+// The Shard scheduler uses it to decide whether a quarantined server has
+// recovered and can be readmitted; Algorithms remains the capability-
+// discovery call.
 func (c *Client) Health(ctx context.Context) error {
-	infos, err := c.Algorithms(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
 		return err
 	}
-	if len(infos) == 0 {
-		return fmt.Errorf("service: %s lists no algorithms", c.base)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	var status struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return fmt.Errorf("service: decode healthz: %w", err)
+	}
+	if status.Status != "ok" {
+		return fmt.Errorf("service: %s reports status %q", c.base, status.Status)
 	}
 	return nil
+}
+
+// UploadTrees adds the trees to the tenant's corpus on the server
+// (POST /v1/trees), deduplicated by digest, and returns each tree's
+// digest in argument order. Jobs may then reference the trees by digest —
+// see ByDigest — so a corpus is shipped once, not once per batch.
+func (c *Client) UploadTrees(ctx context.Context, trees []*tree.Tree) ([]tree.Digest, error) {
+	req := TreeUploadRequest{Trees: make([]string, len(trees))}
+	for i, t := range trees {
+		var sb strings.Builder
+		if err := t.Write(&sb); err != nil {
+			return nil, fmt.Errorf("service: serialize tree %d: %w", i, err)
+		}
+		req.Trees[i] = sb.String()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/trees", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	c.setTenant(hreq)
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var ur TreeUploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		return nil, fmt.Errorf("service: decode tree upload response: %w", err)
+	}
+	if len(ur.Digests) != len(trees) {
+		return nil, fmt.Errorf("service: server acknowledged %d trees, want %d", len(ur.Digests), len(trees))
+	}
+	digests := make([]tree.Digest, len(ur.Digests))
+	for i, s := range ur.Digests {
+		if digests[i], err = tree.ParseDigest(s); err != nil {
+			return nil, err
+		}
+	}
+	return digests, nil
+}
+
+// setTenant stamps the client's tenant onto a request.
+func (c *Client) setTenant(req *http.Request) {
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
 }
 
 // WarmRows implements schedule.RowWarmer: the keyed rows are pushed to the
@@ -123,6 +229,7 @@ func (c *Client) WarmRows(ctx context.Context, entries []schedule.WarmEntry) (in
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.setTenant(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, err
@@ -154,12 +261,15 @@ func (e transientError) Unwrap() error { return e.err }
 func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.BatchOptions) ([]schedule.Row, error) {
 	var body []byte
 	if c.Binary {
+		if c.ByDigest {
+			return nil, fmt.Errorf("service: ByDigest needs the JSON transport (the binary batch form inlines trees)")
+		}
 		var err error
 		if body, err = encodeBatchBinary(jobs, opt.Workers); err != nil {
 			return nil, err
 		}
 	} else {
-		req, err := encodeBatch(jobs, opt.Workers)
+		req, err := encodeBatch(jobs, opt.Workers, c.ByDigest)
 		if err != nil {
 			return nil, err
 		}
@@ -184,8 +294,15 @@ func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.Batc
 		if _, transient := err.(transientError); attempt >= c.Retries || !transient || ctx.Err() != nil {
 			return nil, err
 		}
+		// A 429's Retry-After extends the backoff: the server said when
+		// admission can succeed, so retrying sooner only burns an attempt.
+		wait := backoff
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > wait {
+			wait = se.RetryAfter
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -207,6 +324,7 @@ func (c *Client) runAttempt(ctx context.Context, body []byte, jobs []schedule.Jo
 	} else {
 		hreq.Header.Set("Content-Type", "application/json")
 	}
+	c.setTenant(hreq)
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return transientError{err}
@@ -214,7 +332,18 @@ func (c *Client) runAttempt(ctx context.Context, body []byte, jobs []schedule.Jo
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		err := httpError(resp)
-		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if c.OnThrottle != nil {
+				var se *StatusError
+				var after time.Duration
+				if errors.As(err, &se) {
+					after = se.RetryAfter
+				}
+				c.OnThrottle(after)
+			}
+			return transientError{err}
+		}
+		if resp.StatusCode >= 500 {
 			return transientError{err}
 		}
 		return err
@@ -279,8 +408,10 @@ func (c *Client) Stream(ctx context.Context, src schedule.JobSource, sink schedu
 }
 
 // encodeBatch builds the wire request: each distinct *tree.Tree serialized
-// once under a generated id.
-func encodeBatch(jobs []schedule.Job, workers int) (BatchRequest, error) {
+// once under a generated id — or, with byDigest, referenced by its content
+// digest with no inline text at all (the server resolves digests against
+// the tenant's uploaded corpus).
+func encodeBatch(jobs []schedule.Job, workers int, byDigest bool) (BatchRequest, error) {
 	req := BatchRequest{Trees: map[string]string{}, Jobs: make([]JobSpec, len(jobs)), Workers: workers}
 	ids := map[*tree.Tree]string{}
 	for i, j := range jobs {
@@ -289,13 +420,18 @@ func encodeBatch(jobs []schedule.Job, workers int) (BatchRequest, error) {
 		}
 		id, ok := ids[j.Tree]
 		if !ok {
-			id = "t" + strconv.Itoa(len(ids))
-			ids[j.Tree] = id
-			var sb strings.Builder
-			if err := j.Tree.Write(&sb); err != nil {
-				return BatchRequest{}, fmt.Errorf("service: serialize tree of job %d: %w", i, err)
+			if byDigest {
+				id = j.Tree.Digest().String()
+				ids[j.Tree] = id
+			} else {
+				id = "t" + strconv.Itoa(len(ids))
+				ids[j.Tree] = id
+				var sb strings.Builder
+				if err := j.Tree.Write(&sb); err != nil {
+					return BatchRequest{}, fmt.Errorf("service: serialize tree of job %d: %w", i, err)
+				}
+				req.Trees[id] = sb.String()
 			}
-			req.Trees[id] = sb.String()
 		}
 		req.Jobs[i] = JobSpec{
 			Instance:  j.Instance,
@@ -309,12 +445,24 @@ func encodeBatch(jobs []schedule.Job, workers int) (BatchRequest, error) {
 	return req, nil
 }
 
-// httpError reads a non-200 response into an error, keeping the body short.
+// httpError reads a non-200 response into a *StatusError, keeping the
+// body short and parsing the Retry-After header (integer seconds or HTTP
+// date) when present.
 func httpError(resp *http.Response) error {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	msg := strings.TrimSpace(string(b))
 	if msg == "" {
 		msg = resp.Status
 	}
-	return fmt.Errorf("service: %s: %s", resp.Request.URL.Path, msg)
+	se := &StatusError{Path: resp.Request.URL.Path, Code: resp.StatusCode, Msg: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(t); d > 0 {
+				se.RetryAfter = d
+			}
+		}
+	}
+	return se
 }

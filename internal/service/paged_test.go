@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/schedule"
@@ -84,6 +85,47 @@ func TestWarmIntoPagedStore(t *testing.T) {
 		got, ok := rs.Get(e.Key)
 		if !ok || got != local[i] {
 			t.Fatalf("warmed row %d served %+v, %v; want %+v", i, got, ok, local[i])
+		}
+	}
+}
+
+// Concurrent /v1/warm pushes into one paged store are safe (this test is
+// in CI's race-detector package list): every writer replays the whole
+// entry set in a rotated order, so each key sees racing duplicate stores,
+// and the store still serves every row back bit-identically.
+func TestConcurrentWarmIntoPagedStore(t *testing.T) {
+	jobs := testJobs(t)
+	local, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]schedule.WarmEntry, len(jobs))
+	for i, j := range jobs {
+		entries[i] = schedule.WarmEntry{Key: schedule.CacheKey(j), Row: local[i]}
+	}
+	client, rs := startPagedServer(t, filepath.Join(t.TempDir(), "rows.paged"))
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		pivot := w * len(entries) / writers
+		rot := append(append([]schedule.WarmEntry{}, entries[pivot:]...), entries[:pivot]...)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if n, err := client.WarmRows(context.Background(), rot); err != nil || n != len(rot) {
+				t.Errorf("concurrent WarmRows stored %d entries, %v; want %d", n, err, len(rot))
+			}
+		}()
+	}
+	wg.Wait()
+	if rs.Len() != len(entries) {
+		t.Fatalf("store holds %d rows after %d racing warm pushes, want %d", rs.Len(), writers, len(entries))
+	}
+	for i, e := range entries {
+		got, ok := rs.Get(e.Key)
+		if !ok || got != local[i] {
+			t.Fatalf("row %d after racing warms: %+v, %v; want %+v", i, got, ok, local[i])
 		}
 	}
 }

@@ -18,6 +18,12 @@
 //	                       success or {"error": "…"} on failure.
 //	POST /v1/warm        → request: {"entries": [{key, row}, …]}
 //	                       response: {"stored": N}
+//	POST /v1/trees       → request: {"trees": [<.tree text>, …]}
+//	                       response: {"digests": [hex…], "added": N,
+//	                                  "deduped": M}
+//	GET  /v1/trees       → {"digests": [hex…]} (the tenant's corpus)
+//	GET  /metrics        → Prometheus text exposition of the server's
+//	                       counters (see metrics.go)
 //
 // Trees travel in the .tree wire form of internal/tree (text, one node per
 // line) and are referenced by id from jobs, so a grid of J jobs over T
@@ -26,26 +32,59 @@
 // already committed when a late job fails, and a client must treat a stream
 // without a terminator as truncated.
 //
+// # Tenancy and admission control
+//
+// Every request may carry an X-Tenant header naming the caller's tenant
+// (empty means "default"). Each tenant owns an isolated tree corpus:
+// POST /v1/trees uploads .tree instances once, deduplicated by
+// tree.Digest, and a JSON batch job may then reference a corpus tree by
+// its 64-hex digest in the "tree" field instead of an id into the
+// request's inline map (the inline map wins when an id is present in
+// both). The binary batch transport always inlines trees, so digest
+// references are a JSON-transport feature.
+//
+// Before a batch commits its response stream the server runs admission
+// control: first the backend's verdict (schedule.Admitter — a shard sheds
+// load when every healthy child's queue is deep), then the tenant's token
+// bucket and queue-depth quota (internal/tenant). Over-limit work is
+// rejected with 429 and a Retry-After header (integer seconds) before any
+// response bytes stream, so a rejected batch is cheap for both sides;
+// Client honors the header by delaying its retry at least that long. A
+// corpus at its tree bound rejects uploads with 413, which is
+// deterministic and must not be retried.
+//
 // /v1/warm is the cache-warming sink of cross-shard gossip: a shard (or a
 // sibling server) pushes rows it computed, keyed by schedule.CacheKey, and
 // a server configured with a row store (ServerOptions.Store, cmd/scheduled
 // -cache) stores them so a resubmitted or re-run chunk is answered without
 // recomputation. A server without a store accepts the push and stores
 // nothing ({"stored": 0}) — warming a cacheless server is a no-op, not an
-// error.
+// error. The row cache is content-addressed and therefore shared across
+// tenants by design — equal trees produce equal rows, so there is nothing
+// tenant-specific to leak — and /v1/warm is likewise tenant-unscoped.
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/schedule"
+	"repro/internal/tenant"
 	"repro/internal/tree"
 )
+
+// TenantHeader is the HTTP header naming the caller's tenant. An absent
+// or empty header selects the "default" tenant.
+const TenantHeader = "X-Tenant"
 
 // AlgorithmInfo describes one registry entry on the wire.
 type AlgorithmInfo struct {
@@ -55,7 +94,8 @@ type AlgorithmInfo struct {
 }
 
 // JobSpec is one job on the wire: schedule.Job with the tree replaced by a
-// reference into BatchRequest.Trees.
+// reference — an id into BatchRequest.Trees, or (when absent there) the
+// 64-hex digest of a tree the tenant uploaded to /v1/trees.
 type JobSpec struct {
 	Instance  string `json:"instance"`
 	Tree      string `json:"tree"`
@@ -96,6 +136,31 @@ type WarmResponse struct {
 	Stored int `json:"stored"`
 }
 
+// TreeUploadRequest is the body of POST /v1/trees: .tree wire-form texts
+// to add to the calling tenant's corpus.
+type TreeUploadRequest struct {
+	// Trees holds the instances in .tree text form, one string each.
+	Trees []string `json:"trees"`
+}
+
+// TreeUploadResponse is the body of the POST /v1/trees response.
+type TreeUploadResponse struct {
+	// Digests names each uploaded tree (hex, request order); a batch job
+	// may reference a corpus tree by this string in its "tree" field.
+	Digests []string `json:"digests"`
+	// Added and Deduped split the upload: trees stored now vs trees the
+	// corpus already held (acknowledged, stored once).
+	Added   int `json:"added"`
+	Deduped int `json:"deduped"`
+}
+
+// TreeListResponse is the body of GET /v1/trees: the tenant's corpus
+// digests in sorted hex order.
+type TreeListResponse struct {
+	// Digests lists the corpus, sorted.
+	Digests []string `json:"digests"`
+}
+
 // maxBatchBytes bounds a batch request body (64 MiB — a full-scale grid
 // over the dataset suite is well under 10 MiB on the wire).
 const maxBatchBytes = 64 << 20
@@ -105,12 +170,27 @@ type Server struct {
 	backend schedule.Backend
 	workers int
 	store   schedule.Store
-	// evalSem serializes batch evaluations: the workers bound is per
-	// server, not per request, so concurrent submissions (several clients,
-	// or one client streaming chunks in flight) queue instead of each
-	// spinning up their own worker pool. The wait is context-aware, so a
-	// client that disconnects while queued releases its slot.
+	tenants *tenant.Registry
+	// Metrics sources beyond the backend: set from ServerOptions so
+	// /metrics can export the cache, row-store and shard counters without
+	// unwrapping backend decorators.
+	cache *schedule.Cached
+	rows  schedule.RowStore
+	shard *schedule.Shard
+	// evalSem bounds concurrent batch evaluations (ServerOptions.
+	// Concurrency, default 1 — strictly serialized): the workers bound is
+	// per server, not per request, so concurrent submissions (several
+	// clients, or one client streaming chunks in flight) queue instead of
+	// each spinning up their own worker pool. The wait is context-aware,
+	// so a client that disconnects while queued releases its slot.
 	evalSem chan struct{}
+
+	batchesOK       atomic.Int64
+	batchesFailed   atomic.Int64
+	batchesRejected atomic.Int64
+	rowsStreamed    atomic.Int64
+	treesAdded      atomic.Int64
+	treesDeduped    atomic.Int64
 }
 
 // ServerOptions configures NewServerWith.
@@ -118,13 +198,35 @@ type ServerOptions struct {
 	// Backend evaluates the batches (nil selects schedule.Local).
 	Backend schedule.Backend
 	// Workers bounds each batch's worker pool unless the request asks for
-	// fewer (≤ 0: GOMAXPROCS). The bound is global: batches evaluate one at
-	// a time, so concurrent submissions cannot multiply the pool.
+	// fewer (≤ 0: GOMAXPROCS). The bound is per evaluation slot, so with
+	// Concurrency 1 (the default) concurrent submissions cannot multiply
+	// the pool.
 	Workers int
 	// Store, when non-nil, receives rows pushed to /v1/warm — normally the
 	// same row store the backend's cache reads, so warmed rows answer later
 	// batches. A nil store keeps /v1/warm a no-op.
 	Store schedule.Store
+	// Tenants is the admission registry: every batch is charged against
+	// its tenant's token bucket and queue quota, and /v1/trees uploads
+	// land in its tenant's corpus. Nil selects a fresh unlimited registry,
+	// so tenancy endpoints work (namespaced, never rejected) on servers
+	// that configure no quotas.
+	Tenants *tenant.Registry
+	// Concurrency is the number of batches evaluated at once (≤ 0: 1,
+	// strict serialization — the historical behavior). Raising it trades
+	// the single-batch worker bound for cross-batch parallelism; Workers
+	// still bounds each batch's own pool.
+	Concurrency int
+	// Cache, when non-nil, exposes the cached backend's hit/miss counters
+	// on /metrics; it should be the Cached decorator inside Backend.
+	Cache *schedule.Cached
+	// Rows, when non-nil, exposes the row store's size and eviction count
+	// on /metrics; normally the RowStore behind both Store and Cache.
+	Rows schedule.RowStore
+	// Shard, when non-nil, exposes the shard's scheduling counters and
+	// per-child stats on /metrics; it should be the Shard inside Backend
+	// (a front-door server fanning out to children).
+	Shard *schedule.Shard
 }
 
 // NewServer builds a server over backend (nil selects schedule.Local) with
@@ -141,17 +243,102 @@ func NewServerWith(opt ServerOptions) *Server {
 	if opt.Backend == nil {
 		opt.Backend = schedule.Local{}
 	}
-	return &Server{backend: opt.Backend, workers: opt.Workers, store: opt.Store, evalSem: make(chan struct{}, 1)}
+	if opt.Tenants == nil {
+		opt.Tenants = tenant.NewRegistry(tenant.Limits{})
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 1
+	}
+	return &Server{
+		backend: opt.Backend,
+		workers: opt.Workers,
+		store:   opt.Store,
+		tenants: opt.Tenants,
+		cache:   opt.Cache,
+		rows:    opt.Rows,
+		shard:   opt.Shard,
+		evalSem: make(chan struct{}, opt.Concurrency),
+	}
 }
 
 // Handler returns the routed http.Handler for the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/warm", s.handleWarm)
+	mux.HandleFunc("/v1/trees", s.handleTrees)
 	return mux
+}
+
+// tenantFor resolves the request's tenant from the X-Tenant header.
+func (s *Server) tenantFor(r *http.Request) *tenant.Tenant {
+	return s.tenants.Tenant(r.Header.Get(TenantHeader))
+}
+
+// writeRetryAfter rejects a request with 429 and a Retry-After header of
+// ceil(after) whole seconds (at least 1 — the header has one-second
+// granularity and 0 would read as "retry immediately").
+func writeRetryAfter(w http.ResponseWriter, after time.Duration, msg string) {
+	secs := int(math.Ceil(after.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, msg, http.StatusTooManyRequests)
+}
+
+// handleTrees serves the tenant corpus: POST uploads .tree texts
+// (deduplicated by digest), GET lists the corpus digests.
+func (s *Server) handleTrees(w http.ResponseWriter, r *http.Request) {
+	ten := s.tenantFor(r)
+	switch r.Method {
+	case http.MethodGet:
+		digests := ten.Digests()
+		resp := TreeListResponse{Digests: make([]string, len(digests))}
+		for i, d := range digests {
+			resp.Digests[i] = d.String()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		var req TreeUploadRequest
+		body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			http.Error(w, "bad tree upload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := TreeUploadResponse{Digests: make([]string, 0, len(req.Trees))}
+		for i, text := range req.Trees {
+			t, err := tree.Read(strings.NewReader(text))
+			if err != nil {
+				http.Error(w, fmt.Sprintf("tree %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+			d, added, err := ten.AddTree(t)
+			if errors.Is(err, tenant.ErrCorpusFull) {
+				// Deterministic: retrying cannot succeed, so 413, not 429.
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+				return
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			resp.Digests = append(resp.Digests, d.String())
+			if added {
+				resp.Added++
+				s.treesAdded.Add(1)
+			} else {
+				resp.Deduped++
+				s.treesDeduped.Add(1)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 // handleWarm accepts rows computed elsewhere into the server's row store.
@@ -239,7 +426,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var err error
-		if jobs, err = decodeJobs(req); err != nil {
+		if jobs, err = decodeJobs(req, s.tenantFor(r)); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -254,6 +441,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if reqWorkers > 0 && reqWorkers < workers {
 		workers = reqWorkers
 	}
+
+	// Admission control, before the 200 stream commits: a rejected batch
+	// costs a status line, not an evaluation. The backend's verdict runs
+	// first — when the whole fleet is backed up, the batch is shed without
+	// charging the tenant's token bucket for work that cannot run.
+	ten := s.tenantFor(r)
+	if a, ok := s.backend.(schedule.Admitter); ok {
+		if err := a.Admit(len(jobs)); err != nil {
+			var oe *schedule.OverloadError
+			after := time.Second
+			if errors.As(err, &oe) {
+				after = oe.RetryAfter
+			}
+			ten.RecordOverload(len(jobs))
+			s.batchesRejected.Add(1)
+			writeRetryAfter(w, after, err.Error())
+			return
+		}
+	}
+	release, err := ten.Admit(len(jobs))
+	if err != nil {
+		var re *tenant.RetryError
+		after := time.Second
+		if errors.As(err, &re) {
+			after = re.After
+		}
+		s.batchesRejected.Add(1)
+		writeRetryAfter(w, after, err.Error())
+		return
+	}
+	defer release()
 
 	// From here on the response is a committed 200 stream; failures travel
 	// as a trailing error/terminator frame, not a status code. The stream
@@ -284,15 +502,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		OnRowIndexed: resp.row,
 	})
 	if err != nil {
+		s.batchesFailed.Add(1)
 		resp.fail(err.Error())
 		return
 	}
+	s.batchesOK.Add(1)
+	s.rowsStreamed.Add(int64(len(rows)))
 	resp.done(len(rows))
 }
 
 // decodeJobs parses the request's trees once each and resolves job specs
-// against them.
-func decodeJobs(req BatchRequest) ([]schedule.Job, error) {
+// against them. A spec's tree reference resolves first against the
+// request's inline map; a reference absent there that parses as a digest
+// resolves against the tenant's uploaded corpus, so a tenant that has
+// POSTed its trees to /v1/trees batches by digest without re-sending the
+// tree text.
+func decodeJobs(req BatchRequest, ten *tenant.Tenant) ([]schedule.Job, error) {
 	trees := make(map[string]*tree.Tree, len(req.Trees))
 	for id, text := range req.Trees {
 		t, err := tree.Read(strings.NewReader(text))
@@ -305,7 +530,15 @@ func decodeJobs(req BatchRequest) ([]schedule.Job, error) {
 	for i, spec := range req.Jobs {
 		t, ok := trees[spec.Tree]
 		if !ok {
-			return nil, fmt.Errorf("service: job %d references unknown tree %q", i, spec.Tree)
+			if d, err := tree.ParseDigest(spec.Tree); err == nil {
+				if t, ok = ten.LookupTree(d); ok {
+					trees[spec.Tree] = t // memoize the corpus hit for later jobs
+				} else {
+					return nil, fmt.Errorf("service: job %d references digest %s, not in tenant %q's corpus (upload via /v1/trees first)", i, spec.Tree, ten.Name())
+				}
+			} else {
+				return nil, fmt.Errorf("service: job %d references unknown tree %q", i, spec.Tree)
+			}
 		}
 		jobs[i] = schedule.Job{
 			Instance:  spec.Instance,

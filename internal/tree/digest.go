@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 )
 
 // Digest is the 256-bit content hash of a tree instance. Two trees have the
@@ -14,6 +15,20 @@ type Digest [sha256.Size]byte
 
 // String renders the digest as lower-case hex.
 func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseDigest parses the hex form produced by Digest.String: exactly 64
+// hex characters. It is how the evaluation service resolves a batch job
+// that references an uploaded tree by digest instead of inlining it.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	if len(s) != hex.EncodedLen(len(d)) {
+		return Digest{}, fmt.Errorf("tree: digest %q: want %d hex characters, got %d", s, hex.EncodedLen(len(d)), len(s))
+	}
+	if _, err := hex.Decode(d[:], []byte(s)); err != nil {
+		return Digest{}, fmt.Errorf("tree: digest %q: %v", s, err)
+	}
+	return d, nil
+}
 
 // Digest returns the content hash of the canonical binary serialization of
 // the tree: a version tag, the node count, then (parent, F, N) for every

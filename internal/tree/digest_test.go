@@ -65,3 +65,19 @@ func TestDigest(t *testing.T) {
 		t.Fatal("relabeled siblings share the digest")
 	}
 }
+
+func TestParseDigestRoundTrip(t *testing.T) {
+	d := digestTree(t, []int{-1, 0, 0}, []int64{1, 2, 3}, []int64{4, 5, 6}).Digest()
+	got, err := ParseDigest(d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip: %v != %v", got, d)
+	}
+	for _, bad := range []string{"", "abc", d.String() + "00", strings.ToUpper(d.String()[:63]) + "g"} {
+		if _, err := ParseDigest(bad); err == nil {
+			t.Fatalf("ParseDigest(%q) accepted", bad)
+		}
+	}
+}
