@@ -81,6 +81,8 @@ func run(args []string, w io.Writer) error {
 	binary := fs.Bool("binary", false, "use the binary batch transport for remote backends (all servers must understand it)")
 	shardPolicy := fs.String("shard-policy", "adaptive", "chunk dispatch policy for sharded backends: adaptive | roundrobin")
 	warm := fs.Bool("warm", false, "forward computed rows to sibling server caches (sharded backends)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge straggler chunks after this floor delay (0 = no hedging; sharded backends)")
+	hedgeMultiple := fs.Float64("hedge-multiple", 0, "hedge a chunk running this many times past its predicted completion (0 = default)")
 	progress := fs.Bool("progress", false, "report grid progress (completed/total, rows/sec) on stderr")
 	noTime := fs.Bool("notime", false, "zero the seconds column of grid exports, making CSV/JSONL byte-identical across backends and reruns")
 	benchOut := fs.String("bench-out", "BENCH_solver.json", "output path for the -exp bench record file")
@@ -265,6 +267,7 @@ func run(args []string, w io.Writer) error {
 			algos: *algos, workers: *workers, csvDir: *csvDir,
 			backend: *backendSpec, cachePath: *cachePath, cacheFormat: *cacheFormat, retries: *retries,
 			binary: *binary, shardPolicy: *shardPolicy, warm: *warm,
+			hedgeAfter: *hedgeAfter, hedgeMultiple: *hedgeMultiple,
 			progress: *progress, noTime: *noTime,
 		}
 		if err := runGrid(w, insts, cfg); err != nil {
@@ -276,18 +279,20 @@ func run(args []string, w io.Writer) error {
 
 // gridConfig carries the grid experiment's flag values.
 type gridConfig struct {
-	algos       string
-	workers     int
-	csvDir      string
-	backend     string
-	cachePath   string
-	cacheFormat string
-	retries     int
-	binary      bool
-	shardPolicy string
-	warm        bool
-	progress    bool
-	noTime      bool
+	algos         string
+	workers       int
+	csvDir        string
+	backend       string
+	cachePath     string
+	cacheFormat   string
+	retries       int
+	binary        bool
+	shardPolicy   string
+	warm          bool
+	hedgeAfter    time.Duration
+	hedgeMultiple float64
+	progress      bool
+	noTime        bool
 }
 
 // newBackend resolves a -backend spec: "local", "cached" (decorating local
@@ -339,8 +344,10 @@ func newBackend(cfg gridConfig) (schedule.Backend, func() error, error) {
 			children = append(children, c)
 		}
 		shard, err := schedule.NewShardWith(schedule.ShardOptions{
-			Policy: schedule.ShardPolicy(cfg.shardPolicy),
-			Warm:   cfg.warm,
+			Policy:        schedule.ShardPolicy(cfg.shardPolicy),
+			Warm:          cfg.warm,
+			HedgeAfter:    cfg.hedgeAfter,
+			HedgeMultiple: cfg.hedgeMultiple,
 		}, children...)
 		if err != nil {
 			return nil, nil, err
@@ -493,6 +500,9 @@ func reportShard(w io.Writer, s *schedule.Shard) {
 	if c.Resubmissions > 0 || c.Quarantines > 0 || c.Readmissions > 0 || c.WarmedRows > 0 || c.WarmErrors > 0 {
 		fmt.Fprintf(w, "  shard: %d resubmissions, %d quarantines, %d readmissions, %d warmed rows, %d warm errors\n",
 			c.Resubmissions, c.Quarantines, c.Readmissions, c.WarmedRows, c.WarmErrors)
+	}
+	if c.Hedges > 0 {
+		fmt.Fprintf(w, "  shard: %d hedges, %d hedge wins\n", c.Hedges, c.HedgeWins)
 	}
 	for _, cs := range s.ChildStats() {
 		state := ""

@@ -35,8 +35,28 @@
 // With -children the server is a front door: batches fan out over the
 // named child servers through the shard scheduler instead of evaluating
 // locally, and -admit-depth sheds work with 429 when every healthy child's
-// queue is already that deep. The shard's scheduling counters then appear
-// on /metrics too.
+// queue is already that deep. -chunk re-cuts each client batch into chunks
+// of that many jobs (default 64), so the scheduler has enough pieces to
+// spread; -hedge-after enables speculative re-dispatch of straggler
+// chunks — a chunk running past max(-hedge-after, -hedge-multiple × the
+// child's predicted completion time) is raced on a second healthy child,
+// the first result wins and the loser is cancelled. The shard's scheduling
+// counters (including hedges and hedge wins) then appear on /metrics too.
+//
+// With -peers the server push-gossips its results: after every successful
+// batch the computed rows are offered, keyed by cache key, to each peer's
+// /v1/warm endpoint through a bounded per-peer queue (-gossip-queue
+// batches). A slow or dead peer drops warm batches instead of slowing the
+// serving path, and rows received on /v1/warm are never re-gossiped, so
+// fleets of cached servers heat each other without loops and without a
+// shard in the middle.
+//
+// The environment knobs SCHEDULED_FAULT_DELAY (a duration) and
+// SCHEDULED_FAULT_AFTER (a call count, default 0) wrap the backend in the
+// schedule.FaultBackend test harness: every batch evaluation from call
+// number FAULT_AFTER on stalls for FAULT_DELAY first, honoring
+// cancellation. This is the deterministic "one child degrades mid-grid"
+// knob the hedging smoke tests use; leave it unset in production.
 //
 // On SIGINT/SIGTERM the server drains: in-flight batches finish (bounded
 // by -drain), the row store is flushed and closed, and the process exits 0.
@@ -61,6 +81,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -97,6 +118,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	tenantTrees := fs.Int("tenant-trees", 0, "per-tenant corpus bound in distinct trees (0 = unbounded)")
 	children := fs.String("children", "", "comma-separated child server URLs; fan batches out over them instead of evaluating locally")
 	admitDepth := fs.Int("admit-depth", 0, "shed batches with 429 when every healthy child queues this many jobs (0 = never; needs -children)")
+	chunk := fs.Int("chunk", 0, "front-door chunk size: re-cut client batches into chunks of this many jobs (0 = engine default; needs -children)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge straggler chunks after this floor delay (0 = no hedging; needs -children)")
+	hedgeMultiple := fs.Float64("hedge-multiple", 0, "hedge a chunk running this many times past its predicted completion (0 = default; needs -hedge-after)")
+	peers := fs.String("peers", "", "comma-separated peer server URLs; push computed rows to their /v1/warm caches after each batch")
+	gossipQueue := fs.Int("gossip-queue", 0, "per-peer bound on queued warm batches; full queues drop, never block (0 = default)")
 	drain := fs.Duration("drain", 5*time.Second, "shutdown bound on draining in-flight batches")
 	list := fs.Bool("list", false, "list the registered algorithms and exit")
 	if err := fs.Parse(args); err != nil {
@@ -127,14 +153,46 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			kids = append(kids, c)
 		}
 		var err error
-		shard, err = schedule.NewShardWith(schedule.ShardOptions{MaxQueueDepth: *admitDepth}, kids...)
+		shard, err = schedule.NewShardWith(schedule.ShardOptions{
+			MaxQueueDepth: *admitDepth,
+			HedgeAfter:    *hedgeAfter,
+			HedgeMultiple: *hedgeMultiple,
+			ChunkSize:     *chunk,
+		}, kids...)
 		if err != nil {
 			return err
 		}
 		backend = shard
-		fmt.Fprintf(w, "scheduled: front door over %d children (admit depth %d)\n", len(kids), *admitDepth)
-	} else if *admitDepth != 0 {
-		return fmt.Errorf("-admit-depth needs -children: a local backend has no child queues to measure")
+		fmt.Fprintf(w, "scheduled: front door over %d children (admit depth %d, hedge after %v)\n",
+			len(kids), *admitDepth, *hedgeAfter)
+	} else {
+		switch {
+		case *admitDepth != 0:
+			return fmt.Errorf("-admit-depth needs -children: a local backend has no child queues to measure")
+		case *hedgeAfter != 0:
+			return fmt.Errorf("-hedge-after needs -children: a local backend has no siblings to hedge on")
+		case *chunk != 0:
+			return fmt.Errorf("-chunk needs -children: only the front-door shard re-chunks batches")
+		}
+	}
+
+	// The fault-injection env knobs wrap whatever backend evaluates the
+	// batches, so smoke fleets can degrade one child deterministically.
+	if spec := os.Getenv("SCHEDULED_FAULT_DELAY"); spec != "" {
+		delay, err := time.ParseDuration(spec)
+		if err != nil {
+			return fmt.Errorf("SCHEDULED_FAULT_DELAY: %w", err)
+		}
+		after := 0
+		if a := os.Getenv("SCHEDULED_FAULT_AFTER"); a != "" {
+			if after, err = strconv.Atoi(a); err != nil {
+				return fmt.Errorf("SCHEDULED_FAULT_AFTER: %w", err)
+			}
+		}
+		fault := schedule.NewFaultBackend(backend)
+		fault.SlowAfter(after, delay)
+		backend = fault
+		fmt.Fprintf(w, "scheduled: fault injection armed: %v delay from call %d on\n", delay, after)
 	}
 
 	var cached *schedule.Cached
@@ -156,6 +214,25 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		cached = schedule.NewCached(backend, store)
 		backend = cached
 		fmt.Fprintf(w, "scheduled: row store %s holds %d rows\n", *cache, store.Len())
+	}
+
+	var gossip *service.Gossiper
+	if *peers != "" {
+		var warmers []schedule.RowWarmer
+		var names []string
+		for _, url := range strings.Split(*peers, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			warmers = append(warmers, service.NewClient(url, nil))
+			names = append(names, url)
+		}
+		gossip = service.NewGossiper(service.GossiperOptions{QueueBound: *gossipQueue}, warmers...)
+		defer gossip.Close()
+		fmt.Fprintf(w, "scheduled: gossiping warm rows to %d peers (%s)\n", len(names), strings.Join(names, ", "))
+	} else if *gossipQueue != 0 {
+		return fmt.Errorf("-gossip-queue needs -peers: there is no queue without peers to push to")
 	}
 
 	tenants := tenant.NewRegistry(tenant.Limits{
@@ -188,6 +265,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Cache:       cached,
 		Rows:        store,
 		Shard:       shard,
+		Gossip:      gossip,
 	}).Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -213,6 +291,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if cached != nil {
 		hits, misses := cached.Counters()
 		fmt.Fprintf(w, "scheduled: served %d cache hits, %d misses, %d evictions\n", hits, misses, store.Evictions())
+	}
+	if gossip != nil {
+		// Close before reporting so queued warm batches drain into the
+		// counters; the deferred Close then finds it already closed.
+		gossip.Close()
+		gs := gossip.Stats()
+		fmt.Fprintf(w, "scheduled: gossip pushed %d rows (%d batches enqueued, %d dropped, %d errors)\n",
+			gs.SentRows, gs.EnqueuedBatches, gs.DroppedBatches, gs.Errors)
 	}
 	if store != nil {
 		s := store

@@ -332,6 +332,124 @@ func TestListAndErrors(t *testing.T) {
 	}
 }
 
+// -peers push-gossips computed rows: a batch served by one server lands in
+// the peer's cache, so the peer answers the same grid without recomputing,
+// and both ends report the gossip at shutdown.
+func TestServeGossipPeers(t *testing.T) {
+	peerCache := filepath.Join(t.TempDir(), "peer-rows.jsonl")
+	peerBase, shutdownPeer := startScheduled(t, "-cache", peerCache)
+	originBase, shutdownOrigin := startScheduled(t, "-peers", peerBase)
+
+	h, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "harpoon", Tree: h, Algorithm: "postorder"},
+		{Instance: "harpoon", Tree: h, Algorithm: "minmem"},
+	}
+	if _, err := service.NewClient(originBase, nil).Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown closes the gossiper, which drains the queue — so the push is
+	// complete and accounted for by the time the output returns.
+	out := shutdownOrigin()
+	for _, want := range []string{
+		"scheduled: gossiping warm rows to 1 peers",
+		"scheduled: gossip pushed 2 rows (1 batches enqueued, 0 dropped, 0 errors)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("origin shutdown output missing %q:\n%s", want, out)
+		}
+	}
+	// The gossip-warmed peer answers the same grid entirely from its cache.
+	if _, err := service.NewClient(peerBase, nil).Run(context.Background(), jobs, schedule.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out = shutdownPeer()
+	if !strings.Contains(out, "2 cache hits, 0 misses") {
+		t.Fatalf("gossip-warmed peer recomputed:\n%s", out)
+	}
+
+	// -gossip-queue without -peers cannot work: there is no queue to bound.
+	if err := run(context.Background(), []string{"-gossip-queue", "4"}, io.Discard); err == nil {
+		t.Fatal("-gossip-queue without -peers accepted")
+	}
+}
+
+// A front door with -hedge-after beats a child slowed by the fault-injection
+// env knobs: results stay correct, the hedge counters reach /metrics, and
+// the slowed child reports the armed harness.
+func TestServeHedgedFrontDoorBeatsSlowChild(t *testing.T) {
+	childA, shutdownA := startScheduled(t)
+	// The env knobs are read at startup, so only the server started while
+	// they are set gets the harness.
+	t.Setenv("SCHEDULED_FAULT_DELAY", "300ms")
+	childB, shutdownB := startScheduled(t)
+	t.Setenv("SCHEDULED_FAULT_DELAY", "")
+	front, shutdownFront := startScheduled(t,
+		"-children", childA+","+childB, "-hedge-after", "25ms", "-chunk", "1")
+
+	h2, err := tree.NestedHarpoon(2, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := tree.NestedHarpoon(3, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []schedule.Job{
+		{Instance: "h2", Tree: h2, Algorithm: "postorder"},
+		{Instance: "h2", Tree: h2, Algorithm: "minmem"},
+		{Instance: "h3", Tree: h3, Algorithm: "postorder"},
+		{Instance: "h3", Tree: h3, Algorithm: "minmem"},
+	}
+	want, err := schedule.Local{}.Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := service.NewClient(front, nil).Run(context.Background(), jobs, schedule.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		a.Seconds, b.Seconds = 0, 0
+		if a != b {
+			t.Fatalf("hedged row %d differs from local: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	resp, err := http.Get(front + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m := regexp.MustCompile(`scheduled_shard_hedge_wins_total (\d+)`).FindStringSubmatch(string(scrape))
+	if m == nil || m[1] == "0" {
+		t.Fatalf("front door recorded no hedge wins:\n%s", scrape)
+	}
+
+	shutdownFront()
+	shutdownA()
+	if out := shutdownB(); !strings.Contains(out, "fault injection armed: 300ms delay from call 0 on") {
+		t.Fatalf("slowed child did not report the harness:\n%s", out)
+	}
+
+	// The hedging and chunking flags only mean something on a front door.
+	if err := run(context.Background(), []string{"-hedge-after", "25ms"}, io.Discard); err == nil {
+		t.Fatal("-hedge-after without -children accepted")
+	}
+	if err := run(context.Background(), []string{"-chunk", "8"}, io.Discard); err == nil {
+		t.Fatal("-chunk without -children accepted")
+	}
+	t.Setenv("SCHEDULED_FAULT_DELAY", "not-a-duration")
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, io.Discard); err == nil {
+		t.Fatal("malformed SCHEDULED_FAULT_DELAY accepted")
+	}
+}
+
 // -cache-max bounds the row store: the LRU overflow is evicted, reported at
 // shutdown, and the store file compacts to the bound on the next load.
 func TestServeWithBoundedCache(t *testing.T) {

@@ -41,6 +41,11 @@ const (
 	DefaultQuarantineBase = 250 * time.Millisecond
 	// DefaultQuarantineMax caps the exponential quarantine backoff.
 	DefaultQuarantineMax = 30 * time.Second
+	// DefaultHedgeMultiple scales a child's predicted chunk completion time
+	// into the hedge delay when ShardOptions.HedgeMultiple is unset: a chunk
+	// may run this many times longer than predicted before a speculative
+	// re-dispatch fires.
+	DefaultHedgeMultiple = 3.0
 )
 
 // ShardOptions tunes the Shard scheduler. The zero value selects the
@@ -72,6 +77,27 @@ type ShardOptions struct {
 	// Admit always accepts. The bound applies to admission only; chunks
 	// already inside a stream still dispatch normally.
 	MaxQueueDepth int
+	// HedgeAfter enables speculative (hedged) re-dispatch of straggler
+	// chunks: when an in-flight chunk has run longer than its hedge delay —
+	// max(HedgeAfter, HedgeMultiple × the dispatching child's predicted
+	// completion time from its windowed throughput) — the chunk is also
+	// dispatched to another healthy child. The first result wins; the loser
+	// is cancelled via context and its rows never reach the sink, so the
+	// merged stream stays bit-identical to a Local run. 0 (the default)
+	// disables hedging. HedgeAfter is also the floor of the delay, and the
+	// whole delay while a child is still unmeasured, so set it comfortably
+	// above the fleet's healthy per-chunk latency.
+	HedgeAfter time.Duration
+	// HedgeMultiple scales the predicted completion time into the hedge
+	// delay (≤ 0 selects DefaultHedgeMultiple). Meaningful only with
+	// HedgeAfter > 0.
+	HedgeMultiple float64
+	// ChunkSize, when > 0, is the shard's default stream chunk size, used
+	// by Stream calls that do not set StreamOptions.ChunkSize themselves
+	// (the per-call option wins). A front-door server re-chunking one large
+	// client batch sets this so adaptive dispatch and hedging get enough
+	// chunks to schedule.
+	ChunkSize int
 
 	// now is the test hook for the scheduler clock; nil selects time.Now.
 	now func() time.Time
@@ -89,6 +115,9 @@ func (o ShardOptions) withDefaults() ShardOptions {
 	}
 	if o.QuarantineMax <= 0 {
 		o.QuarantineMax = DefaultQuarantineMax
+	}
+	if o.HedgeMultiple <= 0 {
+		o.HedgeMultiple = DefaultHedgeMultiple
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -144,6 +173,26 @@ type WarmEntry struct {
 // receiver may store none).
 type RowWarmer interface {
 	WarmRows(ctx context.Context, entries []WarmEntry) (int, error)
+}
+
+// NewWarmEntries keys a batch's rows by CacheKey for cache warming,
+// memoizing tree digests across the batch (a grid references the same
+// *tree.Tree from many jobs, and the digest is the expensive part of the
+// key). jobs and rows must be parallel slices, as returned by a successful
+// Backend.Run. Servers use it to build push-gossip payloads without a
+// shard in the loop.
+func NewWarmEntries(jobs []Job, rows []Row) []WarmEntry {
+	entries := make([]WarmEntry, len(jobs))
+	digests := make(map[*tree.Tree]tree.Digest, 1)
+	for i, j := range jobs {
+		d, ok := digests[j.Tree]
+		if !ok {
+			d = j.Tree.Digest()
+			digests[j.Tree] = d
+		}
+		entries[i] = WarmEntry{Key: cacheKey(j, d), Row: rows[i]}
+	}
+	return entries
 }
 
 // ChunkError reports a chunk of the sharded stream that failed on every
@@ -240,6 +289,15 @@ type ShardCounters struct {
 	// LoadSheds counts Admit rejections: batches turned away because
 	// every healthy child's queue held at least MaxQueueDepth jobs.
 	LoadSheds int64
+	// Hedges counts speculative re-dispatches: chunks additionally handed
+	// to a second child because the first ran past its hedge delay
+	// (ShardOptions.HedgeAfter).
+	Hedges int64
+	// HedgeWins counts hedges whose speculative attempt returned first —
+	// chunks the fleet finished early because a straggler was raced and
+	// lost. Hedges − HedgeWins is how often the original dispatch still
+	// won.
+	HedgeWins int64
 }
 
 // ShardChildStats is a snapshot of one child's scheduler state, for
@@ -360,6 +418,64 @@ func (s *Shard) pick(ctx context.Context, tried map[int]bool, n int) int {
 	}
 }
 
+// tryPick is pick's non-blocking variant, used for hedge dispatch: it
+// charges and returns an available untried child if one exists right now,
+// kicking due-quarantined children's readmission probes off in the
+// background, but never waits — a hedge is an optimization, and stalling
+// the chunk's control loop to find a hedge target would defeat it. idx is
+// -1 when no child is available; retry then reports whether any untried
+// child exists at all (quarantined or mid-probe), i.e. whether re-arming
+// the hedge timer could ever find one.
+func (s *Shard) tryPick(ctx context.Context, tried map[int]bool, n int) (idx int, retry bool) {
+	s.mu.Lock()
+	now := s.opt.now()
+	var avail, due []int
+	remaining := false
+	for i := range s.children {
+		if tried[i] {
+			continue
+		}
+		remaining = true
+		c := &s.children[i]
+		switch {
+		case !c.quarantined:
+			avail = append(avail, i)
+		case !c.probing && !now.Before(c.until):
+			due = append(due, i)
+		}
+	}
+	for _, i := range due {
+		s.children[i].probing = true
+	}
+	idx = -1
+	if len(avail) > 0 {
+		idx = s.choose(avail, n)
+		s.children[idx].inFlightChunks++
+		s.children[idx].inFlightJobs += n
+	}
+	s.mu.Unlock()
+	for _, i := range due {
+		go s.probeOne(ctx, i, nil)
+	}
+	return idx, remaining
+}
+
+// hedgeDelay returns how long child i may hold a chunk of n jobs before a
+// hedge fires: HedgeMultiple × the completion time predicted from the
+// child's windowed throughput, floored by HedgeAfter (which alone applies
+// while the child is unmeasured).
+func (s *Shard) hedgeDelay(i, n int) time.Duration {
+	d := s.opt.HedgeAfter
+	s.mu.Lock()
+	if tp, ok := s.children[i].throughput(); ok && tp > 0 {
+		if pred := time.Duration(s.opt.HedgeMultiple * float64(n) / tp * float64(time.Second)); pred > d {
+			d = pred
+		}
+	}
+	s.mu.Unlock()
+	return d
+}
+
 // choose picks among the available (non-quarantined, untried) children,
 // under s.mu. Round-robin rotates the cursor; adaptive minimizes expected
 // completion time, exploring unmeasured children first.
@@ -455,23 +571,47 @@ func (s *Shard) quarantine(i int) {
 	s.mu.Unlock()
 }
 
-// complete releases child i's in-flight charge for a chunk of n jobs and,
-// on success, records a throughput sample and resets the backoff ladder —
-// unless the child is benched right now: a straggler chunk dispatched
-// before the quarantine must not zero the ladder of a child that has since
-// started failing.
-func (s *Shard) complete(i, n int, dur time.Duration, ok bool) {
+// attemptOutcome classifies how one chunk dispatch ended, for complete's
+// scheduler bookkeeping.
+type attemptOutcome int
+
+const (
+	// attemptOK: the child returned the chunk's rows.
+	attemptOK attemptOutcome = iota
+	// attemptHedgeLoss: the attempt was cancelled because a hedged sibling
+	// won the chunk — the child is healthy but slow.
+	attemptHedgeLoss
+	// attemptFailed: the child failed the chunk, or the stream was torn
+	// down.
+	attemptFailed
+)
+
+// complete releases child i's in-flight charge for a chunk of n jobs and
+// updates the scheduler's view of the child. attemptOK records a throughput
+// sample and resets the backoff ladder — unless the child is benched right
+// now: a straggler chunk dispatched before the quarantine must not zero the
+// ladder of a child that has since started failing. attemptHedgeLoss
+// records a zero-row sample over the straggler's wall time: the chunk's
+// rows were credited to the winner, and what the loser contributes is
+// evidence of slowness, dragging its windowed throughput down so adaptive
+// dispatch steers the next chunks away without benching a child that is
+// merely slow. attemptFailed only releases the charge; quarantine handles
+// the rest.
+func (s *Shard) complete(i, n int, dur time.Duration, outcome attemptOutcome) {
 	s.mu.Lock()
 	c := &s.children[i]
 	c.inFlightChunks--
 	c.inFlightJobs -= n
-	if ok {
+	switch outcome {
+	case attemptOK:
 		c.chunks++
 		c.rows += int64(n)
 		if !c.quarantined {
 			c.backoff = 0
 		}
 		c.observe(n, dur.Seconds(), s.opt.ThroughputWindow)
+	case attemptHedgeLoss:
+		c.observe(0, dur.Seconds(), s.opt.ThroughputWindow)
 	}
 	s.mu.Unlock()
 }

@@ -39,6 +39,16 @@ import (
 // (keyed by CacheKey) to every sibling child implementing RowWarmer, so a
 // resubmitted or re-run chunk is warm on every cache in the fleet.
 //
+// With ShardOptions.HedgeAfter set, a chunk held by a straggling child is
+// speculatively re-dispatched: once the chunk runs past its hedge delay
+// (the larger of HedgeAfter and HedgeMultiple × the child's predicted
+// completion time), a second healthy child races it. The first result
+// wins, the loser's context is cancelled, and only the winner's rows reach
+// the sink — a child that silently degrades to 10× slow mid-grid costs one
+// hedge delay, not a 10× chunk. Hedges and their wins are counted
+// (Counters().Hedges / HedgeWins) separately from failure-driven
+// resubmissions.
+//
 // Construct with NewShard (default options) or NewShardWith.
 type Shard struct {
 	mu       sync.Mutex
@@ -52,6 +62,8 @@ type Shard struct {
 	warmedRows   atomic.Int64
 	warmErrors   atomic.Int64
 	sheds        atomic.Int64
+	hedges       atomic.Int64
+	hedgeWins    atomic.Int64
 
 	digestMu      sync.Mutex
 	digests       map[*tree.Tree]tree.Digest
@@ -116,6 +128,8 @@ func (s *Shard) Counters() ShardCounters {
 		WarmedRows:    s.warmedRows.Load(),
 		WarmErrors:    s.warmErrors.Load(),
 		LoadSheds:     s.sheds.Load(),
+		Hedges:        s.hedges.Load(),
+		HedgeWins:     s.hedgeWins.Load(),
 	}
 }
 
@@ -197,6 +211,9 @@ func (s *Shard) Admit(jobs int) error {
 // readmitted), and the order-preserving merge keeps the sink bit-identical
 // to a Local run.
 func (s *Shard) Stream(ctx context.Context, src JobSource, sink RowSink, opt StreamOptions) error {
+	if opt.ChunkSize <= 0 && s.opt.ChunkSize > 0 {
+		opt.ChunkSize = s.opt.ChunkSize
+	}
 	chunkSize, inFlight := opt.chunking(2 * len(s.children))
 	s.acquireDigests()
 	defer s.releaseDigests()
@@ -212,12 +229,25 @@ func (s *Shard) Run(ctx context.Context, jobs []Job, opt BatchOptions) ([]Row, e
 	return RunViaStream(ctx, s, jobs, opt)
 }
 
+// attemptResult is one chunk dispatch's outcome, delivered to runChunk's
+// control loop.
+type attemptResult struct {
+	idx   int
+	rows  []Row
+	err   error
+	hedge bool
+}
+
 // runChunk evaluates one chunk (stream job indices [start, start+len(jobs))),
 // dispatching to scheduler-picked children until one succeeds. Each child is
 // tried at most once per chunk; a failing child is quarantined and the
-// chunk resubmitted elsewhere. When every child has been tried — run or
-// readmission probe — and failed, the chunk fails with a *ChunkError naming
-// the job index range.
+// chunk resubmitted elsewhere. With hedging enabled (ShardOptions.
+// HedgeAfter), an attempt that runs past its hedge delay is raced by a
+// speculative dispatch to another healthy child: the first result wins and
+// every other attempt is cancelled, so exactly one attempt's rows are
+// returned — the merge never sees duplicates. When every child has been
+// tried — run or readmission probe — and failed, the chunk fails with a
+// *ChunkError naming the job index range.
 func (s *Shard) runChunk(ctx context.Context, start int, jobs []Job, workers int) ([]Row, error) {
 	tried := make(map[int]bool, len(s.children))
 	var errs []error
@@ -230,38 +260,138 @@ func (s *Shard) runChunk(ctx context.Context, start int, jobs []Job, workers int
 		}
 		return &ChunkError{First: start, Last: start + len(jobs), Err: joined}
 	}
-	for attempt := 0; ; attempt++ {
-		idx := s.pick(ctx, tried, len(jobs))
-		if idx < 0 {
-			if err := ctx.Err(); err != nil {
-				// The stream is being torn down; this chunk was aborted, not
-				// rejected fleet-wide, so surface the cancellation rather
-				// than a misleading all-children ChunkError.
-				return nil, err
-			}
-			return nil, chunkErr()
+
+	// Each child runs at most once per chunk, so the buffer guarantees no
+	// attempt goroutine ever blocks sending its result — a straggler that
+	// loses the race finishes and exits even after runChunk has returned.
+	results := make(chan attemptResult, len(s.children))
+	running, dispatches := 0, 0
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
 		}
-		if attempt > 0 {
+	}()
+	launch := func(idx int, hedge bool) {
+		tried[idx] = true
+		if hedge {
+			s.hedges.Add(1)
+		} else if dispatches > 0 {
 			s.resubmits.Add(1)
 		}
+		dispatches++
+		running++
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
 		child := s.children[idx].backend
+		// The stream engine recycles the chunk's pooled jobs buffer the
+		// moment runChunk returns, while a cancelled straggler may still be
+		// reading it; every attempt therefore gets its own copy.
+		jobsCopy := append([]Job(nil), jobs...)
 		t0 := time.Now()
-		rows, err := child.Run(ctx, jobs, BatchOptions{Workers: workers})
-		s.complete(idx, len(jobs), time.Since(t0), err == nil)
-		if err == nil {
-			if s.opt.Warm {
-				s.warmSiblings(ctx, idx, jobs, rows)
+		go func() {
+			rows, err := child.Run(actx, jobsCopy, BatchOptions{Workers: workers})
+			outcome := attemptFailed
+			switch {
+			case err == nil:
+				outcome = attemptOK
+			case actx.Err() != nil && ctx.Err() == nil:
+				outcome = attemptHedgeLoss
 			}
-			return rows, nil
+			s.complete(idx, len(jobsCopy), time.Since(t0), outcome)
+			results <- attemptResult{idx: idx, rows: rows, err: err, hedge: hedge}
+		}()
+	}
+	// finish drains the still-running losers' results in the background so
+	// their row slices recirculate through the stream engine's pool.
+	finish := func(pending int) {
+		if pending <= 0 {
+			return
 		}
-		if ctx.Err() != nil {
-			// The child's failure is (or is indistinguishable from) the
-			// cancellation: don't bench a possibly healthy child or inflate
-			// its failure counters, and report the abort as what it is.
-			return nil, ctx.Err()
+		go func() {
+			for i := 0; i < pending; i++ {
+				if res := <-results; res.err == nil {
+					putRowSlice(res.rows)
+				}
+			}
+		}()
+	}
+
+	// The hedge timer is re-created per arm (never Reset) so a late fire
+	// can't race a re-arm; hedgeC is nil — and the select case dormant —
+	// while hedging is off or exhausted.
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	stopHedge := func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+			hedgeTimer, hedgeC = nil, nil
 		}
-		errs = append(errs, fmt.Errorf("%s: %w", s.children[idx].name, err))
-		s.quarantine(idx)
-		tried[idx] = true
+	}
+	armHedge := func(d time.Duration) {
+		stopHedge()
+		hedgeTimer = time.NewTimer(d)
+		hedgeC = hedgeTimer.C
+	}
+	defer stopHedge()
+
+	for {
+		if running == 0 {
+			idx := s.pick(ctx, tried, len(jobs))
+			if idx < 0 {
+				if err := ctx.Err(); err != nil {
+					// The stream is being torn down; this chunk was aborted,
+					// not rejected fleet-wide, so surface the cancellation
+					// rather than a misleading all-children ChunkError.
+					return nil, err
+				}
+				return nil, chunkErr()
+			}
+			launch(idx, false)
+			if s.opt.HedgeAfter > 0 {
+				armHedge(s.hedgeDelay(idx, len(jobs)))
+			}
+		}
+		select {
+		case res := <-results:
+			running--
+			if res.err == nil {
+				if res.hedge {
+					s.hedgeWins.Add(1)
+				}
+				// Cancel the losers before warming so they stop burning
+				// child capacity now, not after the warm round-trip (the
+				// deferred cancels would be too late for that).
+				for _, cancel := range cancels {
+					cancel()
+				}
+				finish(running)
+				if s.opt.Warm {
+					s.warmSiblings(ctx, res.idx, jobs, res.rows)
+				}
+				return res.rows, nil
+			}
+			if ctx.Err() != nil {
+				// The attempt's failure is (or is indistinguishable from)
+				// the teardown: don't bench a possibly healthy child or
+				// inflate its failure counters, and report the abort as
+				// what it is.
+				finish(running)
+				return nil, ctx.Err()
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", s.children[res.idx].name, res.err))
+			s.quarantine(res.idx)
+		case <-hedgeC:
+			hedgeTimer, hedgeC = nil, nil
+			idx, retry := s.tryPick(ctx, tried, len(jobs))
+			if idx >= 0 {
+				launch(idx, true)
+				armHedge(s.hedgeDelay(idx, len(jobs)))
+			} else if retry {
+				// Untried children exist but are benched or mid-probe right
+				// now; check back after another hedge interval.
+				armHedge(s.opt.HedgeAfter)
+			}
+		}
 	}
 }

@@ -79,7 +79,8 @@ func TestShardMatchesLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 		sameRowsNoTime(t, want, sank.Rows(), string(policy)+" shard stream vs local")
-		if c := shard.Counters(); c.Resubmissions != 0 || c.Quarantines != 0 || c.Readmissions != 0 {
+		if c := shard.Counters(); c.Resubmissions != 0 || c.Quarantines != 0 || c.Readmissions != 0 ||
+			c.Hedges != 0 || c.HedgeWins != 0 {
 			t.Fatalf("healthy shard recorded counters %+v", c)
 		}
 		stats := shard.ChildStats()

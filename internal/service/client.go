@@ -291,7 +291,17 @@ func (c *Client) Run(ctx context.Context, jobs []schedule.Job, opt schedule.Batc
 		if err == nil {
 			return rows, nil
 		}
-		if _, transient := err.(transientError); attempt >= c.Retries || !transient || ctx.Err() != nil {
+		_, transient := err.(transientError)
+		if transient && ctx.Err() != nil {
+			// The attempt died because the context did: the request was
+			// built with the context, so cancelling it aborts the in-flight
+			// HTTP call (the server's handler sees its request context
+			// cancelled and stops evaluating — a hedge loser stops burning
+			// child capacity). Surface the cancellation itself, not the
+			// transport error it manifested as.
+			return nil, ctx.Err()
+		}
+		if attempt >= c.Retries || !transient {
 			return nil, err
 		}
 		// A 429's Retry-After extends the backoff: the server said when

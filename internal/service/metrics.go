@@ -19,12 +19,14 @@ import (
 //	scheduled_tenant_rejected_jobs_total{tenant,reason="rate"|"queue"|"overload"}
 //	scheduled_tenant_queued_jobs{tenant}, scheduled_tenant_trees{tenant}
 //	scheduled_shard_{resubmissions,quarantines,readmissions,load_sheds,
-//	                 warmed_rows,warm_errors}_total
+//	                 warmed_rows,warm_errors,hedges,hedge_wins}_total
 //	scheduled_shard_child_{chunks,rows,failures}_total{child},
 //	scheduled_shard_child_{quarantined,rows_per_sec}{child}
+//	scheduled_gossip_batches_total{outcome="enqueued"|"dropped"}
+//	scheduled_gossip_rows_sent_total, scheduled_gossip_errors_total
 //
-// Cache, store and shard families appear only when the server was built
-// with the matching ServerOptions source; tenant families appear per
+// Cache, store, shard and gossip families appear only when the server was
+// built with the matching ServerOptions source; tenant families appear per
 // tenant the server has seen. Zero-valued samples are still exported so a
 // scrape can tell "counter at zero" from "family absent".
 
@@ -137,6 +139,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			{"scheduled_shard_load_sheds_total", c.LoadSheds, "Batches shed by admission control."},
 			{"scheduled_shard_warmed_rows_total", c.WarmedRows, "Rows accepted by sibling caches through warming."},
 			{"scheduled_shard_warm_errors_total", c.WarmErrors, "Failed best-effort warm forwards."},
+			{"scheduled_shard_hedges_total", c.Hedges, "Speculative re-dispatches of straggler chunks."},
+			{"scheduled_shard_hedge_wins_total", c.HedgeWins, "Hedged dispatches that beat the straggler."},
 		} {
 			p.family(m.name, "counter", m.help)
 			p.sample(m.name, float64(m.v))
@@ -159,6 +163,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p.family("scheduled_shard_child_rows_per_sec", "gauge", "Windowed observed throughput per child.")
 			p.sample("scheduled_shard_child_rows_per_sec", cs.RowsPerSec, "child", cs.Name)
 		}
+	}
+
+	if s.gossip != nil {
+		g := s.gossip.Stats()
+		p.family("scheduled_gossip_batches_total", "counter", "Warm batches offered to peer queues by outcome (enqueued, dropped).")
+		p.sample("scheduled_gossip_batches_total", float64(g.EnqueuedBatches), "outcome", "enqueued")
+		p.sample("scheduled_gossip_batches_total", float64(g.DroppedBatches), "outcome", "dropped")
+		p.family("scheduled_gossip_rows_sent_total", "counter", "Rows peers acknowledged storing from warm pushes.")
+		p.sample("scheduled_gossip_rows_sent_total", float64(g.SentRows))
+		p.family("scheduled_gossip_errors_total", "counter", "Failed warm pushes to peers.")
+		p.sample("scheduled_gossip_errors_total", float64(g.Errors))
 	}
 
 	w.Header().Set("Content-Type", metricsContentType)

@@ -62,6 +62,13 @@
 // error. The row cache is content-addressed and therefore shared across
 // tenants by design — equal trees produce equal rows, so there is nothing
 // tenant-specific to leak — and /v1/warm is likewise tenant-unscoped.
+//
+// With ServerOptions.Gossip (cmd/scheduled -peers) the server is also a
+// warm-push source: after each successful batch it offers the batch's
+// keyed rows to its peers' /v1/warm endpoints through the Gossiper's
+// bounded, drop-on-backpressure queues, so caches heat fleet-wide without
+// a shard in the loop. Rows received on /v1/warm are stored but never
+// re-gossiped, so a warm push cannot circulate forever between peers.
 package service
 
 import (
@@ -174,9 +181,10 @@ type Server struct {
 	// Metrics sources beyond the backend: set from ServerOptions so
 	// /metrics can export the cache, row-store and shard counters without
 	// unwrapping backend decorators.
-	cache *schedule.Cached
-	rows  schedule.RowStore
-	shard *schedule.Shard
+	cache  *schedule.Cached
+	rows   schedule.RowStore
+	shard  *schedule.Shard
+	gossip *Gossiper
 	// evalSem bounds concurrent batch evaluations (ServerOptions.
 	// Concurrency, default 1 — strictly serialized): the workers bound is
 	// per server, not per request, so concurrent submissions (several
@@ -227,6 +235,12 @@ type ServerOptions struct {
 	// per-child stats on /metrics; it should be the Shard inside Backend
 	// (a front-door server fanning out to children).
 	Shard *schedule.Shard
+	// Gossip, when non-nil, receives each successful batch's keyed rows
+	// (schedule.NewWarmEntries) for push-warming peer caches. The offer is
+	// non-blocking — a slow peer drops batches, it never slows a batch
+	// response — and its counters appear on /metrics. The server does not
+	// own the gossiper: the caller Closes it on shutdown.
+	Gossip *Gossiper
 }
 
 // NewServer builds a server over backend (nil selects schedule.Local) with
@@ -257,6 +271,7 @@ func NewServerWith(opt ServerOptions) *Server {
 		cache:   opt.Cache,
 		rows:    opt.Rows,
 		shard:   opt.Shard,
+		gossip:  opt.Gossip,
 		evalSem: make(chan struct{}, opt.Concurrency),
 	}
 }
@@ -509,6 +524,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchesOK.Add(1)
 	s.rowsStreamed.Add(int64(len(rows)))
 	resp.done(len(rows))
+	if s.gossip != nil {
+		// After the terminator: keying the rows costs tree digests, and the
+		// client should not wait on them. The offer itself never blocks.
+		s.gossip.Offer(schedule.NewWarmEntries(jobs, rows))
+	}
 }
 
 // decodeJobs parses the request's trees once each and resolves job specs
