@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,9 +12,13 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/hillvalley"
+	"repro/internal/ordering"
 	"repro/internal/schedule"
 	"repro/internal/service"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
 	"repro/internal/tree"
 )
 
@@ -81,12 +86,12 @@ func record(name string, nodes int, rowsPerOp float64, fn func(b *testing.B)) be
 // writes the records to outPath (BENCH_solver.json), so every future PR
 // can diff the perf trajectory.
 func runBench(w io.Writer, outPath string, nodes int) error {
-	corpus, err := benchCorpus(nodes)
+	trees, err := benchCorpus(nodes)
 	if err != nil {
 		return err
 	}
 	report := benchReport{
-		Description: "solver hot-path benchmarks (cmd/experiments -exp bench); ns_per_op and allocs_per_op from testing.Benchmark, rows_per_sec = tree nodes (kernel/simulator) or evaluation rows (batch) per second; batch-local is the cold solver-bound path, batch-local-binary streams the same grid from a warmed cache through the pooled chunk engine into the framed binary row form, batch-remote-{json,binary} contrast the two transports over one warmed server; store-{jsonl,binary,paged}/{put,get} measure row-store overwrite and replay throughput per format",
+		Description: "solver hot-path benchmarks (cmd/experiments -exp bench); ns_per_op and allocs_per_op from testing.Benchmark, rows_per_sec = tree nodes (kernel/simulator) or evaluation rows (batch) per second; batch-local is the cold solver-bound path, batch-local-binary streams the same grid from a warmed cache through the pooled chunk engine into the framed binary row form, batch-remote-{json,binary} contrast the two transports over one warmed server; store-{jsonl,binary,paged}/{put,get} measure row-store overwrite and replay throughput per format; mm-parse is the zero-alloc MatrixMarket parser (rows_per_sec = coordinate entries), amd and etree-counts run the AMD ordering and the skeleton column counts on the 316x316 grid (~100k columns, rows_per_sec = columns), corpus-pipeline streams the smoke manifest end to end (rows_per_sec = tree instances) — all four at fixed problem sizes independent of -bench-nodes",
 	}
 	fmt.Fprintf(w, "Solver benchmarks — %d-node corpora, one tree per shape\n", nodes)
 	fmt.Fprintf(w, "  %-34s %14s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "rows/sec")
@@ -95,7 +100,7 @@ func runBench(w io.Writer, outPath string, nodes int) error {
 		fmt.Fprintf(w, "  %-34s %14.0f %12d %14.0f\n", rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.RowsPerSec)
 	}
 	for _, shape := range []string{"uniform", "preferential", "chainy"} {
-		tr := corpus[shape]
+		tr := trees[shape]
 		p := float64(tr.Len())
 		add(record("liu-profile/"+shape, tr.Len(), p, func(b *testing.B) {
 			var k hillvalley.Kernel
@@ -254,6 +259,78 @@ func runBench(w io.Writer, outPath string, nodes int) error {
 			}
 		}))
 	}
+	// Real-matrix front end, fixed problem sizes (independent of -bench-nodes
+	// so the CI gate compares like with like): the zero-alloc MatrixMarket
+	// parser (rows/sec = coordinate entries), AMD on the ~100k-node 2D model
+	// problem and the skeleton column counts on the same matrix (rows/sec =
+	// matrix columns), and the smoke corpus pipeline end to end (rows/sec =
+	// tree instances).
+	gm, err := sparse.Grid2D(200, 200)
+	if err != nil {
+		return err
+	}
+	var mmBuf bytes.Buffer
+	if err := gm.WriteMatrixMarket(&mmBuf); err != nil {
+		return err
+	}
+	mmData := mmBuf.Bytes()
+	var parser sparse.Parser
+	if _, err := parser.ParseBytes(mmData); err != nil { // warm the buffers
+		return err
+	}
+	add(record("mm-parse/grid2d-200", gm.N(), float64(gm.NNZ()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := parser.ParseBytes(mmData); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	ga, err := sparse.Grid2D(316, 316)
+	if err != nil {
+		return err
+	}
+	add(record("amd/grid2d-100k", ga.N(), float64(ga.N()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ordering.AMD(ga); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	parentA, err := symbolic.EliminationTree(ga)
+	if err != nil {
+		return err
+	}
+	add(record("etree-counts/grid2d-100k", ga.N(), float64(ga.N()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := symbolic.ColumnCounts(ga, parentA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	smoke := corpus.SmokeManifest()
+	smokeInstances := float64(len(smoke) * len(corpus.OrderingNames()) * 2)
+	add(record("corpus-pipeline/smoke", 0, smokeInstances, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pipe, err := corpus.NewPipeline(smoke, corpus.PipelineOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				_, ok, err := pipe.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+			pipe.Close()
+		}
+	}))
 	fmt.Fprintln(w)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

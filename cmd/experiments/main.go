@@ -68,7 +68,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | grid | bench | load | all (bench and load run only when selected explicitly)")
+	exp := fs.String("exp", "all", "experiment: table1 | fig5 | fig6 | fig7 | fig8 | table2 | fig9 | theorem1 | theorem2 | ablation | grid | matrices | bench | load | all (matrices, bench and load run only when selected explicitly)")
 	scaleName := fs.String("scale", "medium", "dataset scale: small | medium | full")
 	csvDir := fs.String("csv", "", "directory for CSV profile exports (optional)")
 	seeds := fs.Int("seeds", 3, "random-weight copies per tree for table2/fig9")
@@ -97,11 +97,25 @@ func run(args []string, w io.Writer) error {
 	loadBurst := fs.Int("load-burst", 0, "per-tenant token-bucket capacity for the local load server (0 = max(rate, 64))")
 	loadQueue := fs.Int("load-queue", 0, "per-tenant queue-depth quota for the local load server (0 = unbounded)")
 	loadRequireRej := fs.Bool("load-require-rejections", false, "fail unless admission control rejected at least one batch (smoke-test assertion)")
+	corpusName := fs.String("corpus", "smoke", "-exp matrices manifest: smoke (tiny generator-only) or default (real matrices with generator fallbacks)")
+	corpusDir := fs.String("corpus-dir", "", "local MatrixMarket mirror for -exp matrices; missing files fall back to the deterministic generators")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *exp == "bench" {
 		return runBench(w, *benchOut, *benchNodes)
+	}
+	if *exp == "matrices" {
+		return runMatrices(w, matricesConfig{
+			grid: gridConfig{
+				algos: *algos, workers: *workers, csvDir: *csvDir,
+				backend: *backendSpec, cachePath: *cachePath, cacheFormat: *cacheFormat, retries: *retries,
+				binary: *binary, shardPolicy: *shardPolicy, warm: *warm,
+				hedgeAfter: *hedgeAfter, hedgeMultiple: *hedgeMultiple,
+				progress: *progress, noTime: *noTime,
+			},
+			corpus: *corpusName, corpusDir: *corpusDir,
+		})
 	}
 	if *exp == "load" {
 		return runLoad(w, loadConfig{

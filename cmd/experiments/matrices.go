@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/schedule"
+	"repro/internal/tree"
+)
+
+// matricesConfig carries the -exp matrices flag values: the corpus
+// selection plus the grid backend options it shares with -exp grid.
+type matricesConfig struct {
+	grid      gridConfig
+	corpus    string
+	corpusDir string
+}
+
+// pipelineSource adapts a corpus.Pipeline to schedule.InstanceSource,
+// counting provenance so the report can say how many matrices came from a
+// mirrored file versus the generator fallback.
+type pipelineSource struct {
+	p         *corpus.Pipeline
+	fromFile  map[string]bool
+	instances int
+}
+
+func (s *pipelineSource) NextInstance() (schedule.Instance, bool, error) {
+	inst, ok, err := s.p.Next()
+	if err != nil || !ok {
+		return schedule.Instance{}, false, err
+	}
+	if inst.Source == "file" {
+		s.fromFile[inst.Matrix] = true
+	}
+	s.instances++
+	return schedule.Instance{Name: inst.Name, Tree: inst.Tree}, true, nil
+}
+
+// matricesOrderBy is the MinMemory solver whose traversal seeds the policy
+// sweep and whose certified memory ranks the orderings in the report.
+const matricesOrderBy = "minmem"
+
+// runMatrices streams the real-matrix corpus through the ordering ×
+// amalgamation pipeline and evaluates the full (instance × algorithm ×
+// budget) grid on the selected backend, overlapping tree construction with
+// evaluation. Rows stream to w as they complete; with csvDir set they are
+// also exported as matrices.csv and matrices.jsonl (Seconds zeroed under
+// -notime, making the exports byte-identical across backends). The run
+// ends with the winner-per-family report: for each matrix family, the
+// ordering with the lowest geometric-mean optimal peak memory.
+func runMatrices(w io.Writer, cfg matricesConfig) error {
+	var entries []corpus.Entry
+	switch cfg.corpus {
+	case "smoke":
+		entries = corpus.SmokeManifest()
+	case "default":
+		entries = corpus.DefaultManifest()
+	default:
+		return fmt.Errorf("unknown corpus %q (want smoke or default)", cfg.corpus)
+	}
+	var algNames []string
+	for _, n := range strings.Split(cfg.grid.algos, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			algNames = append(algNames, n)
+		}
+	}
+	pipe, err := corpus.NewPipeline(entries, corpus.PipelineOptions{
+		Dir:     cfg.corpusDir,
+		Workers: cfg.grid.workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+	src := &pipelineSource{p: pipe, fromFile: map[string]bool{}}
+	memories := func(t *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		lo := t.MaxMemReq()
+		if mid := (lo + out.Memory) / 2; mid != lo {
+			return []int64{lo, mid}, nil
+		}
+		return []int64{lo}, nil
+	}
+	jobs, err := schedule.GridSource(src, algNames, matricesOrderBy, schedule.EvictionPolicyNames(), memories)
+	if err != nil {
+		return err
+	}
+	backend, cleanup, err := newBackend(cfg.grid)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	fmt.Fprintf(w, "Matrices — corpus %s (%d matrices) × {%s} orderings × relax {1,4} on backend %s, streamed as built\n",
+		cfg.corpus, len(entries), strings.Join(corpus.OrderingNames(), ","), backend.Capabilities().Name)
+	fmt.Fprintf(w, "  %-28s %-12s %10s %12s %12s\n", "instance", "algorithm", "budget", "memory", "io")
+
+	families := corpus.Families(entries)
+	report := newFamilyReport(families)
+	sinks := []schedule.RowSink{
+		schedule.SinkFunc(func(r schedule.Row) error {
+			fmt.Fprintf(w, "  %-28s %-12s %10d %12d %12d\n", r.Instance, r.Algorithm, r.Budget, r.Memory, r.IO)
+			report.row(r)
+			return nil
+		}),
+	}
+	var prog *streamProgress
+	if cfg.grid.progress {
+		prog = &streamProgress{w: os.Stderr, start: time.Now()}
+		sinks = append(sinks, schedule.SinkFunc(func(schedule.Row) error { prog.row(); return nil }))
+	}
+	var csvSink *schedule.CSVSink
+	if cfg.grid.csvDir != "" {
+		if err := os.MkdirAll(cfg.grid.csvDir, 0o755); err != nil {
+			return err
+		}
+		cf, err := os.Create(filepath.Join(cfg.grid.csvDir, "matrices.csv"))
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		jf, err := os.Create(filepath.Join(cfg.grid.csvDir, "matrices.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		csvSink = schedule.NewCSVSink(cf)
+		export := schedule.MultiSink(csvSink, schedule.NewJSONLSink(jf))
+		noTime := cfg.grid.noTime
+		sinks = append(sinks, schedule.SinkFunc(func(r schedule.Row) error {
+			if noTime {
+				r.Seconds = 0
+			}
+			return export.Push(r)
+		}))
+	}
+	rows := 0
+	sinks = append(sinks, schedule.SinkFunc(func(schedule.Row) error { rows++; return nil }))
+
+	if err := backend.Stream(context.Background(), jobs, schedule.MultiSink(sinks...),
+		schedule.StreamOptions{Workers: cfg.grid.workers}); err != nil {
+		return err
+	}
+	if prog != nil {
+		prog.finish()
+	}
+	if csvSink != nil {
+		if err := csvSink.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "  %d rows (%d instances)\n", rows, src.instances)
+	mirrored := len(src.fromFile)
+	fmt.Fprintf(w, "  corpus sources: %d mirrored file(s), %d generator fallback(s)\n", mirrored, len(entries)-mirrored)
+	if s, ok := backend.(*schedule.Shard); ok {
+		reportShard(w, s)
+	}
+	if c, ok := backend.(*schedule.Cached); ok {
+		hits, misses := c.Counters()
+		fmt.Fprintf(w, "  cache: %d hits, %d misses\n", hits, misses)
+	}
+	fmt.Fprintln(w)
+	report.print(w)
+	return cleanup()
+}
+
+// familyReport accumulates the orderBy solver's certified peak memory per
+// (family, ordering) and ranks orderings by geometric mean within each
+// family — the experiment's headline: which fill-reducing ordering wins on
+// which kind of matrix.
+type familyReport struct {
+	families map[string]corpus.Family
+	// logSum and count index by family then ordering.
+	logSum map[corpus.Family]map[string]float64
+	count  map[corpus.Family]map[string]int
+}
+
+func newFamilyReport(families map[string]corpus.Family) *familyReport {
+	return &familyReport{
+		families: families,
+		logSum:   map[corpus.Family]map[string]float64{},
+		count:    map[corpus.Family]map[string]int{},
+	}
+}
+
+// row folds one grid row into the aggregate. Only the orderBy solver's
+// MinMemory rows count: one certified optimum per instance.
+func (fr *familyReport) row(r schedule.Row) {
+	if r.Algorithm != matricesOrderBy || r.Kind != schedule.KindMinMemory.String() {
+		return
+	}
+	// Instance names are "matrix/ordering/rN".
+	parts := strings.Split(r.Instance, "/")
+	if len(parts) != 3 {
+		return
+	}
+	fam, ok := fr.families[parts[0]]
+	if !ok || r.Memory < 1 {
+		return
+	}
+	if fr.logSum[fam] == nil {
+		fr.logSum[fam] = map[string]float64{}
+		fr.count[fam] = map[string]int{}
+	}
+	fr.logSum[fam][parts[1]] += math.Log(float64(r.Memory))
+	fr.count[fam][parts[1]]++
+}
+
+// print writes the winner table: per family, every ordering's
+// geometric-mean optimal peak memory, best first.
+func (fr *familyReport) print(w io.Writer) {
+	var fams []string
+	for f := range fr.logSum {
+		fams = append(fams, string(f))
+	}
+	sort.Strings(fams)
+	if len(fams) == 0 {
+		fmt.Fprintf(w, "Winning ordering per family: no %s rows collected\n", matricesOrderBy)
+		return
+	}
+	fmt.Fprintf(w, "Winning ordering per family (geometric-mean optimal peak memory, %s solver)\n", matricesOrderBy)
+	for _, f := range fams {
+		fam := corpus.Family(f)
+		type score struct {
+			ordering string
+			geomean  float64
+		}
+		var scores []score
+		for ord, s := range fr.logSum[fam] {
+			scores = append(scores, score{ord, math.Exp(s / float64(fr.count[fam][ord]))})
+		}
+		sort.Slice(scores, func(i, j int) bool {
+			if scores[i].geomean != scores[j].geomean {
+				return scores[i].geomean < scores[j].geomean
+			}
+			return scores[i].ordering < scores[j].ordering
+		})
+		fmt.Fprintf(w, "  %-9s winner %-8s", f, scores[0].ordering)
+		for _, s := range scores {
+			fmt.Fprintf(w, "  %s=%.0f", s.ordering, s.geomean)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// streamProgress reports rows/sec on w for streaming grids whose total is
+// unknown up front, updated in place at most a few times a second.
+type streamProgress struct {
+	w     io.Writer
+	done  int
+	start time.Time
+	last  time.Time
+}
+
+func (p *streamProgress) row() {
+	p.done++
+	now := time.Now()
+	if now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	rate := float64(p.done) / (now.Sub(p.start).Seconds() + 1e-9)
+	fmt.Fprintf(p.w, "\rmatrices: %d rows (%.0f rows/s)", p.done, rate)
+}
+
+func (p *streamProgress) finish() {
+	if p.done > 0 {
+		fmt.Fprintf(p.w, "\rmatrices: %d rows\n", p.done)
+	}
+}

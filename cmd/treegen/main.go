@@ -7,6 +7,7 @@
 //	treegen -kind harpoon -b 4 -levels 3 -mem 400 -eps 1 -o harpoon.tree
 //	treegen -kind random -nodes 1000 -maxf 100 -maxn 20 -seed 7 -o rnd.tree
 //	treegen -kind assembly -matrix grid2d:32 -order md -relax 4 -o asm.tree
+//	treegen -from-mtx bcsstk10.mtx -order md -relax 4 -o bcsstk10.tree
 //	treegen -kind reduction -items 3,5,2,4 -o gadget.tree
 package main
 
@@ -34,24 +35,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("treegen", flag.ContinueOnError)
 	var (
-		kind   = fs.String("kind", "random", "tree kind: harpoon | random | assembly | reduction | chain")
-		out    = fs.String("o", "", "output file (default stdout)")
-		b      = fs.Int("b", 3, "harpoon: branches per level")
-		levels = fs.Int("levels", 1, "harpoon: nesting depth")
-		mem    = fs.Int64("mem", 300, "harpoon: M parameter")
-		eps    = fs.Int64("eps", 1, "harpoon: ε parameter")
-		nodes  = fs.Int("nodes", 100, "random/chain: node count")
-		maxF   = fs.Int64("maxf", 100, "random/chain: max input file size")
-		maxN   = fs.Int64("maxn", 10, "random/chain: max execution file size")
-		attach = fs.String("attach", "uniform", "random: uniform | preferential | chainy")
-		seed   = fs.Int64("seed", 1, "random: PRNG seed")
-		matrix = fs.String("matrix", "grid2d:16", "assembly: grid2d:K | grid3d:K | rand:N,DEG | band:N,B")
-		order  = fs.String("order", "md", "assembly: md | nd | rcm | natural")
-		relax  = fs.Int("relax", 1, "assembly: relaxed amalgamation budget per node")
-		items  = fs.String("items", "1,2,3", "reduction: comma-separated 2-Partition items")
+		kind    = fs.String("kind", "random", "tree kind: harpoon | random | assembly | reduction | chain")
+		out     = fs.String("o", "", "output file (default stdout)")
+		b       = fs.Int("b", 3, "harpoon: branches per level")
+		levels  = fs.Int("levels", 1, "harpoon: nesting depth")
+		mem     = fs.Int64("mem", 300, "harpoon: M parameter")
+		eps     = fs.Int64("eps", 1, "harpoon: ε parameter")
+		nodes   = fs.Int("nodes", 100, "random/chain: node count")
+		maxF    = fs.Int64("maxf", 100, "random/chain: max input file size")
+		maxN    = fs.Int64("maxn", 10, "random/chain: max execution file size")
+		attach  = fs.String("attach", "uniform", "random: uniform | preferential | chainy")
+		seed    = fs.Int64("seed", 1, "random: PRNG seed")
+		matrix  = fs.String("matrix", "grid2d:16", "assembly: grid2d:K | grid3d:K | rand:N,DEG | band:N,B | mm:FILE")
+		fromMtx = fs.String("from-mtx", "", "build an assembly tree from this MatrixMarket file (implies -kind assembly, overrides -matrix)")
+		order   = fs.String("order", "md", "assembly: md (alias amd) | nd | rcm | natural")
+		relax   = fs.Int("relax", 1, "assembly: relaxed amalgamation budget per node")
+		items   = fs.String("items", "1,2,3", "reduction: comma-separated 2-Partition items")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fromMtx != "" {
+		*kind = "assembly"
+		*matrix = "mm:" + *fromMtx
 	}
 	var (
 		t   *tree.Tree
@@ -132,7 +138,7 @@ func buildAssembly(matrixSpec, orderName string, relax int) (*tree.Tree, error) 
 	}
 	var perm []int
 	switch orderName {
-	case "md":
+	case "md", "amd":
 		perm, err = ordering.MinimumDegree(m)
 	case "nd":
 		perm, err = ordering.NestedDissection(m, ordering.NestedDissectionOptions{})

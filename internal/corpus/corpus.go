@@ -1,0 +1,147 @@
+// Package corpus is the real-matrix front door of the evaluation spine: a
+// compiled-in manifest of sparse matrices (SuiteSparse download URLs with
+// deterministic generator fallbacks per matrix family, so CI never touches
+// the network), and a streaming pipeline that turns each matrix into
+// assembly-tree instances — symmetrize, order with {natural, RCM, AMD,
+// nested dissection}, amalgamate at each relax level — ready to feed any
+// schedule backend as a job stream. Per-matrix pipeline stages run
+// concurrently; instances are delivered in deterministic manifest order.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sparse"
+)
+
+// Family classifies a matrix by structure; the matrices experiment reports
+// the winning ordering per family.
+type Family string
+
+// The manifest's matrix families: regular 2D/3D grid discretizations,
+// power-law graphs (circuit/optimization-like irregularity), and banded
+// engineering matrices.
+const (
+	FamilyGrid2D   Family = "grid2d"
+	FamilyGrid3D   Family = "grid3d"
+	FamilyPowerLaw Family = "powerlaw"
+	FamilyBanded   Family = "banded"
+)
+
+// GenSpec is a deterministic generator fallback: the matrix produced when
+// the real file is not mirrored locally.
+type GenSpec struct {
+	// Kind selects the generator: grid2d | grid3d | rmat | band.
+	Kind string
+	// N and Arg parameterize it: grid2d N×N, grid3d N×N×N, rmat N nodes
+	// with Arg edges per node, band N rows with half-bandwidth Arg.
+	N, Arg int
+	// Seed drives the random generators; structured kinds ignore it.
+	Seed int64
+}
+
+// Entry is one manifest matrix: a real downloadable file plus the
+// deterministic stand-in used when the file is absent.
+type Entry struct {
+	// Name is the instance-name prefix and the expected local file name
+	// (<Name>.mtx inside the corpus directory).
+	Name string
+	// Family classifies the matrix for the winner-per-family report.
+	Family Family
+	// URL is the SuiteSparse collection archive holding the real matrix;
+	// empty for generator-only entries. The pipeline never fetches it —
+	// mirroring the corpus is an operator step (see the runbook).
+	URL string
+	// Gen is the deterministic fallback.
+	Gen GenSpec
+}
+
+// Generate builds the entry's fallback matrix.
+func (e Entry) Generate() (*sparse.Matrix, error) {
+	switch e.Gen.Kind {
+	case "grid2d":
+		return sparse.Grid2D(e.Gen.N, e.Gen.N)
+	case "grid3d":
+		return sparse.Grid3D(e.Gen.N, e.Gen.N, e.Gen.N)
+	case "rmat":
+		return sparse.RMAT(rand.New(rand.NewSource(e.Gen.Seed)), e.Gen.N, e.Gen.Arg)
+	case "band":
+		return sparse.BandMatrix(e.Gen.N, e.Gen.Arg)
+	default:
+		return nil, fmt.Errorf("corpus: %s: unknown generator kind %q", e.Name, e.Gen.Kind)
+	}
+}
+
+// Load returns the entry's matrix and its provenance: the MatrixMarket
+// file <dir>/<Name>.mtx when present ("file"), the deterministic generator
+// otherwise ("generator"). An empty dir skips the file lookup entirely.
+func (e Entry) Load(dir string) (*sparse.Matrix, string, error) {
+	if dir != "" {
+		path := filepath.Join(dir, e.Name+".mtx")
+		if data, err := os.ReadFile(path); err == nil {
+			// A one-shot parser is never reused, so the returned matrix
+			// can keep aliasing its buffers.
+			var p sparse.Parser
+			m, err := p.ParseBytes(data)
+			if err != nil {
+				return nil, "", fmt.Errorf("corpus: %s: %w", path, err)
+			}
+			return m, "file", nil
+		}
+	}
+	m, err := e.Generate()
+	if err != nil {
+		return nil, "", err
+	}
+	return m, "generator", nil
+}
+
+const suiteSparse = "https://suitesparse-collection-website.herokuapp.com/MM/"
+
+// DefaultManifest is the compiled-in corpus: two matrices per family, each
+// with a real SuiteSparse source and a same-family generator fallback sized
+// to keep a full pipeline run in seconds.
+func DefaultManifest() []Entry {
+	return []Entry{
+		{Name: "nos4", Family: FamilyGrid2D, URL: suiteSparse + "HB/nos4.tar.gz",
+			Gen: GenSpec{Kind: "grid2d", N: 10}},
+		{Name: "gridgen-48", Family: FamilyGrid2D,
+			Gen: GenSpec{Kind: "grid2d", N: 48}},
+		{Name: "bcsstk10", Family: FamilyGrid3D, URL: suiteSparse + "HB/bcsstk10.tar.gz",
+			Gen: GenSpec{Kind: "grid3d", N: 11}},
+		{Name: "grid3gen-10", Family: FamilyGrid3D,
+			Gen: GenSpec{Kind: "grid3d", N: 10}},
+		{Name: "ca-GrQc", Family: FamilyPowerLaw, URL: suiteSparse + "SNAP/ca-GrQc.tar.gz",
+			Gen: GenSpec{Kind: "rmat", N: 2048, Arg: 4, Seed: 7001}},
+		{Name: "rmatgen-1500", Family: FamilyPowerLaw,
+			Gen: GenSpec{Kind: "rmat", N: 1500, Arg: 3, Seed: 7002}},
+		{Name: "bcsstk08", Family: FamilyBanded, URL: suiteSparse + "HB/bcsstk08.tar.gz",
+			Gen: GenSpec{Kind: "band", N: 1074, Arg: 6}},
+		{Name: "bandgen-1200", Family: FamilyBanded,
+			Gen: GenSpec{Kind: "band", N: 1200, Arg: 10}},
+	}
+}
+
+// SmokeManifest is the CI-sized corpus: one small generator entry per
+// family, fast enough for smoke jobs yet exercising every family branch.
+func SmokeManifest() []Entry {
+	return []Entry{
+		{Name: "smoke-grid2d", Family: FamilyGrid2D, Gen: GenSpec{Kind: "grid2d", N: 9}},
+		{Name: "smoke-grid3d", Family: FamilyGrid3D, Gen: GenSpec{Kind: "grid3d", N: 4}},
+		{Name: "smoke-rmat", Family: FamilyPowerLaw, Gen: GenSpec{Kind: "rmat", N: 160, Arg: 3, Seed: 7100}},
+		{Name: "smoke-band", Family: FamilyBanded, Gen: GenSpec{Kind: "band", N: 150, Arg: 4}},
+	}
+}
+
+// Families returns the matrix-name → family map of a manifest, for report
+// aggregation.
+func Families(entries []Entry) map[string]Family {
+	out := make(map[string]Family, len(entries))
+	for _, e := range entries {
+		out[e.Name] = e.Family
+	}
+	return out
+}

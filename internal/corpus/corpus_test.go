@@ -1,0 +1,169 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestManifestGeneratorsWork exercises every fallback generator in both
+// manifests and sanity-checks the symmetrized pattern feeding the pipeline.
+func TestManifestGeneratorsWork(t *testing.T) {
+	for _, e := range append(DefaultManifest(), SmokeManifest()...) {
+		m, source, err := e.Load("")
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if source != "generator" {
+			t.Fatalf("%s: want generator provenance with empty dir, got %q", e.Name, source)
+		}
+		if m.N() < 2 {
+			t.Fatalf("%s: implausibly small matrix n=%d", e.Name, m.N())
+		}
+		s := m.Symmetrize()
+		if s.N() != m.N() {
+			t.Fatalf("%s: symmetrize changed n", e.Name)
+		}
+	}
+}
+
+// TestManifestNamesUniqueAndFamilied pins the invariants the matrices
+// experiment relies on: unique names and a family per entry.
+func TestManifestNamesUniqueAndFamilied(t *testing.T) {
+	for _, entries := range [][]Entry{DefaultManifest(), SmokeManifest()} {
+		fam := Families(entries)
+		if len(fam) != len(entries) {
+			t.Fatalf("duplicate manifest names: %d entries, %d unique", len(entries), len(fam))
+		}
+		for _, e := range entries {
+			switch e.Family {
+			case FamilyGrid2D, FamilyGrid3D, FamilyPowerLaw, FamilyBanded:
+			default:
+				t.Fatalf("%s: unknown family %q", e.Name, e.Family)
+			}
+		}
+	}
+}
+
+// TestLoadPrefersMirroredFile writes a tiny MatrixMarket file into a corpus
+// dir and checks Load picks it over the generator.
+func TestLoadPrefersMirroredFile(t *testing.T) {
+	dir := t.TempDir()
+	mtx := "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 4\n1 1\n2 2\n3 3\n3 1\n"
+	if err := os.WriteFile(filepath.Join(dir, "smoke-band.mtx"), []byte(mtx), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := SmokeManifest()[3]
+	if e.Name != "smoke-band" {
+		t.Fatalf("manifest layout changed: got %q", e.Name)
+	}
+	m, source, err := e.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "file" || m.N() != 3 {
+		t.Fatalf("want mirrored 3×3 file, got source=%q n=%d", source, m.N())
+	}
+	if _, source, err = e.Load(""); err != nil || source != "generator" {
+		t.Fatalf("empty dir should fall back to generator: %q %v", source, err)
+	}
+}
+
+// TestPipelineOrderAndShape streams the smoke manifest and checks instance
+// names arrive in deterministic manifest × ordering × relax order with
+// sensible trees, despite concurrent per-matrix workers.
+func TestPipelineOrderAndShape(t *testing.T) {
+	entries := SmokeManifest()
+	p, err := NewPipeline(entries, PipelineOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var want []string
+	for _, e := range entries {
+		for _, ord := range OrderingNames() {
+			for _, r := range []int{1, 4} {
+				want = append(want, fmt.Sprintf("%s/%s/r%d", e.Name, ord, r))
+			}
+		}
+	}
+	fam := Families(entries)
+	for i, name := range want {
+		inst, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("stream ended early at %d/%d", i, len(want))
+		}
+		if inst.Name != name {
+			t.Fatalf("instance %d: got %q, want %q", i, inst.Name, name)
+		}
+		if inst.Tree == nil || inst.Tree.Len() < 1 {
+			t.Fatalf("%s: empty tree", name)
+		}
+		if inst.Family != fam[inst.Matrix] || inst.Source != "generator" {
+			t.Fatalf("%s: bad provenance family=%q source=%q", name, inst.Family, inst.Source)
+		}
+	}
+	if _, ok, err := p.Next(); ok || err != nil {
+		t.Fatalf("want clean exhaustion, got ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPipelineSubsetOptions checks ordering/relax subsetting and option
+// validation.
+func TestPipelineSubsetOptions(t *testing.T) {
+	p, err := NewPipeline(SmokeManifest()[:1], PipelineOptions{Orderings: []string{"amd"}, Relax: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	inst, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("next: ok=%v err=%v", ok, err)
+	}
+	if inst.Name != "smoke-grid2d/amd/r2" {
+		t.Fatalf("got %q", inst.Name)
+	}
+	if _, ok, _ := p.Next(); ok {
+		t.Fatal("want single instance")
+	}
+	if _, err := NewPipeline(SmokeManifest(), PipelineOptions{Orderings: []string{"bogus"}}); err == nil {
+		t.Fatal("want unknown-ordering error")
+	}
+	if _, err := NewPipeline(SmokeManifest(), PipelineOptions{Relax: []int{-1}}); err == nil {
+		t.Fatal("want negative-relax error")
+	}
+}
+
+// TestPipelineEarlyClose abandons a stream mid-way; Close must let the
+// dispatcher and workers wind down without the consumer draining.
+func TestPipelineEarlyClose(t *testing.T) {
+	p, err := NewPipeline(DefaultManifest(), PipelineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := p.Next(); !ok || err != nil {
+		t.Fatalf("next: ok=%v err=%v", ok, err)
+	}
+	p.Close()
+	p.Close() // idempotent
+}
+
+// TestPipelineLatchesError checks a failing entry poisons the stream.
+func TestPipelineLatchesError(t *testing.T) {
+	entries := []Entry{{Name: "bad", Family: FamilyBanded, Gen: GenSpec{Kind: "nope"}}}
+	p, err := NewPipeline(entries, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, ok, err := p.Next(); ok || err == nil {
+		t.Fatalf("want latched error, got ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := p.Next(); ok || err == nil {
+		t.Fatal("error must stay latched")
+	}
+}

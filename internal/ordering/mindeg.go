@@ -1,10 +1,10 @@
 // Package ordering provides fill-reducing orderings for symmetric sparse
-// patterns: minimum degree on a quotient graph (the role played by Matlab's
-// amd in the paper's setup), reverse Cuthill–McKee, and nested dissection
-// via level-set bisection (the role played by MeTiS). All functions return
-// a new-to-old permutation: perm[k] is the original index eliminated at
-// step k. Feeding sparse.Matrix.Permute with it yields the reordered
-// pattern.
+// patterns: approximate minimum degree on a quotient graph (the role played
+// by Matlab's amd in the paper's setup), reverse Cuthill–McKee, and nested
+// dissection via level-set bisection (the role played by MeTiS). All
+// functions return a new-to-old permutation: perm[k] is the original index
+// eliminated at step k. Feeding sparse.Matrix.Permute with it yields the
+// reordered pattern.
 package ordering
 
 import (
@@ -14,14 +14,44 @@ import (
 	"repro/internal/sparse"
 )
 
-// MinimumDegree computes a minimum-degree ordering using a quotient graph
-// with element absorption (Liu's MMD framework, without supervariable
-// compression). The matrix must be symmetric; the diagonal is ignored.
-//
-// At every step the variable of smallest exact external degree (ties broken
-// by smallest index) is eliminated; its adjacent elements are absorbed into
-// the newly formed element, so storage never exceeds the input pattern.
+// MinimumDegreeOptions selects the minimum-degree variant.
+type MinimumDegreeOptions struct {
+	// Exact selects the exact-external-degree path: Liu's MMD framework
+	// without supervariable compression, recomputing every updated
+	// variable's degree by a full reach scan. It is the reference
+	// implementation the AMD path is differentially tested against;
+	// worst-case quadratic, so only suitable for small patterns.
+	Exact bool
+}
+
+// MinimumDegree computes a fill-reducing minimum-degree ordering with the
+// AMD algorithm (approximate external degrees of Amestoy, Davis and Duff,
+// with supervariable compression and aggressive element absorption). The
+// matrix must be symmetric; the diagonal is ignored. See AMD for the
+// algorithm, MinimumDegreeWith for the exact-degree reference path.
 func MinimumDegree(m *sparse.Matrix) ([]int, error) {
+	return AMD(m)
+}
+
+// MinimumDegreeWith computes a minimum-degree ordering with the selected
+// variant: the AMD hot path by default, the exact-degree reference path
+// with opt.Exact.
+func MinimumDegreeWith(m *sparse.Matrix, opt MinimumDegreeOptions) ([]int, error) {
+	if opt.Exact {
+		return exactMinimumDegree(m)
+	}
+	return AMD(m)
+}
+
+// exactMinimumDegree is the seed implementation: a quotient graph with
+// element absorption where every update recomputes the variable's exact
+// external degree by scanning its full reach (Liu's MMD framework, without
+// supervariable compression). At every step the variable of smallest exact
+// external degree (ties broken by smallest index) is eliminated; its
+// adjacent elements are absorbed into the newly formed element, so storage
+// never exceeds the input pattern. Kept as the differential reference for
+// the AMD path.
+func exactMinimumDegree(m *sparse.Matrix) ([]int, error) {
 	if !m.IsSymmetric() {
 		return nil, fmt.Errorf("ordering: minimum degree needs a symmetric pattern")
 	}

@@ -420,6 +420,99 @@ func MinIOGridSource(insts []Instance, orderBy string, algorithms []string, memo
 	}), nil
 }
 
+// InstanceSource is a pull iterator over named trees: the streaming
+// counterpart of an []Instance, letting corpus pipelines feed grids
+// without materializing every tree at once. Like JobSource, sources are
+// consumed by one goroutine at a time.
+type InstanceSource interface {
+	NextInstance() (Instance, bool, error)
+}
+
+// InstanceSliceSource adapts a materialized instance list.
+func InstanceSliceSource(insts []Instance) InstanceSource {
+	i := 0
+	return instanceSourceFunc(func() (Instance, bool, error) {
+		if i >= len(insts) {
+			return Instance{}, false, nil
+		}
+		inst := insts[i]
+		i++
+		return inst, true, nil
+	})
+}
+
+type instanceSourceFunc func() (Instance, bool, error)
+
+func (f instanceSourceFunc) NextInstance() (Instance, bool, error) { return f() }
+
+// GridSource streams the full per-instance experiment grid over an
+// instance stream: for each instance, every MinMemory algorithm, then the
+// orderBy solver's traversal replayed under every eviction policy at each
+// memory budget derived by memories — the streaming fusion of
+// MinMemoryGridSource and MinIOGridSource, pulling instances one at a time
+// so a corpus pipeline can overlap tree construction with evaluation. The
+// orderBy name is validated eagerly; instances are prepared lazily.
+func GridSource(src InstanceSource, algorithms []string, orderBy string, policies []string, memories func(*tree.Tree, Outcome) ([]int64, error)) (JobSource, error) {
+	orderAlg, err := Lookup(orderBy)
+	if err != nil {
+		return nil, err
+	}
+	if orderAlg.Kind() != KindMinMemory {
+		return nil, fmt.Errorf("schedule: orderBy algorithm %q is not a MinMemory solver", orderBy)
+	}
+	var (
+		cur     Instance
+		have    bool
+		ai      int
+		order   []int
+		mems    []int64
+		mi, ki  int
+		prepped bool
+	)
+	return SourceFunc(func() (Job, bool, error) {
+		for {
+			if !have {
+				inst, ok, err := src.NextInstance()
+				if err != nil || !ok {
+					return Job{}, false, err
+				}
+				cur, have, ai, prepped = inst, true, 0, false
+			}
+			if ai < len(algorithms) {
+				j := Job{Instance: cur.Name, Tree: cur.Tree, Algorithm: algorithms[ai]}
+				ai++
+				return j, true, nil
+			}
+			if len(policies) > 0 {
+				if !prepped {
+					out, err := orderAlg.Run(Request{Tree: cur.Tree})
+					if err != nil {
+						return Job{}, false, fmt.Errorf("schedule: %s: %s: %w", cur.Name, orderBy, err)
+					}
+					if out.Order == nil {
+						return Job{}, false, fmt.Errorf("schedule: %s returns no traversal to replay", orderBy)
+					}
+					mems, err = memories(cur.Tree, out)
+					if err != nil {
+						return Job{}, false, fmt.Errorf("schedule: %s: %w", cur.Name, err)
+					}
+					order, mi, ki, prepped = out.Order, 0, 0, true
+				}
+				if mi < len(mems) {
+					if ki < len(policies) {
+						j := Job{Instance: cur.Name, Tree: cur.Tree, Algorithm: policies[ki], Order: order, Memory: mems[mi]}
+						ki++
+						return j, true, nil
+					}
+					mi, ki = mi+1, 0
+					continue
+				}
+			}
+			have = false
+		}
+	}), nil
+}
+
 // TreeDirSource streams jobs from the .tree files of a directory: every
 // file (sorted by name, so the stream is deterministic) crossed with the
 // given algorithm names, instance-named after the file. Files are parsed

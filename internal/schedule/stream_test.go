@@ -442,3 +442,46 @@ func TestStreamErrorWhileSourceBlocked(t *testing.T) {
 		t.Fatal("stream error held hostage by a blocked source")
 	}
 }
+
+// GridSource over an instance stream must equal, per instance, the
+// MinMemory grid followed by the MinIO grid — the interleaving that lets
+// streaming corpora overlap tree construction with evaluation.
+func TestGridSource(t *testing.T) {
+	insts := batchInstances(t)
+	algs := []string{"postorder", "minmem"}
+	policies := schedule.EvictionPolicyNames()
+	memories := func(tr *tree.Tree, out schedule.Outcome) ([]int64, error) {
+		return []int64{tr.MaxMemReq(), (tr.MaxMemReq() + out.Memory) / 2}, nil
+	}
+
+	var want []schedule.Job
+	for _, inst := range insts {
+		one := []schedule.Instance{inst}
+		want = append(want, schedule.MinMemoryGrid(one, algs)...)
+		eager, err := schedule.MinIOGrid(context.Background(), one, "minmem", policies, memories, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, eager...)
+	}
+
+	src, err := schedule.GridSource(schedule.InstanceSliceSource(insts), algs, "minmem", policies, memories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJobs(t, drain(t, src), want, "GridSource")
+
+	// No policies → pure MinMemory grid, orderBy never run.
+	src, err = schedule.GridSource(schedule.InstanceSliceSource(insts), algs, "minmem", nil, memories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJobs(t, drain(t, src), schedule.MinMemoryGrid(insts, algs), "GridSource no policies")
+
+	if _, err := schedule.GridSource(schedule.InstanceSliceSource(insts), algs, "nope", policies, memories); err == nil {
+		t.Fatal("unknown orderBy accepted")
+	}
+	if _, err := schedule.GridSource(schedule.InstanceSliceSource(insts), algs, "lsnf", policies, memories); err == nil {
+		t.Fatal("MinIO orderBy accepted")
+	}
+}

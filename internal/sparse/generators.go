@@ -178,3 +178,51 @@ func BandMatrix(n, halfBand int) (*Matrix, error) {
 	}
 	return New(n, cols)
 }
+
+// RMAT returns a symmetric power-law pattern from the recursive R-MAT
+// quadrant process (Chakrabarti, Zhan, Faloutsos) with the standard
+// (0.57, 0.19, 0.19, 0.05) partition, symmetrized with a full diagonal and
+// a spanning chain for connectivity. Compared to ScaleFree's preferential
+// attachment it produces community-like block structure, the other common
+// shape of irregular real-world matrices.
+func RMAT(rng *rand.Rand, n, edgesPerNode int) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sparse: need n ≥ 1, got %d", n)
+	}
+	if edgesPerNode < 0 {
+		return nil, fmt.Errorf("sparse: need ≥ 0 edges per node, got %d", edgesPerNode)
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	cols := make([][]int, n)
+	for j := 0; j < n; j++ {
+		cols[j] = append(cols[j], j)
+		if j > 0 {
+			cols[j] = append(cols[j], j-1)
+			cols[j-1] = append(cols[j-1], j)
+		}
+	}
+	for e := 0; e < n*edgesPerNode; e++ {
+		i, j := 0, 0
+		for bit := levels - 1; bit >= 0; bit-- {
+			switch r := rng.Float64(); {
+			case r < 0.57: // top-left
+			case r < 0.76: // top-right
+				j |= 1 << bit
+			case r < 0.95: // bottom-left
+				i |= 1 << bit
+			default: // bottom-right
+				i |= 1 << bit
+				j |= 1 << bit
+			}
+		}
+		if i >= n || j >= n || i == j {
+			continue
+		}
+		cols[j] = append(cols[j], i)
+		cols[i] = append(cols[i], j)
+	}
+	return New(n, cols)
+}

@@ -98,24 +98,45 @@ func (m *Matrix) Transpose() *Matrix {
 }
 
 // Symmetrize returns the pattern of |A| + |Aᵀ| + I, the form the paper
-// feeds to the ordering and symbolic-factorization steps.
+// feeds to the ordering and symbolic-factorization steps. Columns of A and
+// Aᵀ are already sorted, so each output column is a deduplicating 3-way
+// merge — no per-column scratch, no re-sort.
 func (m *Matrix) Symmetrize() *Matrix {
 	at := m.Transpose()
-	cols := make([][]int, m.n)
+	out := &Matrix{n: m.n, colPtr: make([]int32, m.n+1)}
+	out.rowIdx = make([]int32, 0, len(m.rowIdx)+len(at.rowIdx)+m.n)
 	for j := 0; j < m.n; j++ {
-		col := make([]int, 0, len(m.Col(j))+len(at.Col(j))+1)
-		for _, i := range m.Col(j) {
-			col = append(col, int(i))
+		a, b := m.Col(j), at.Col(j)
+		dj := int32(j)
+		diagDone := false
+		last := int32(-1)
+		x, y := 0, 0
+		for x < len(a) || y < len(b) {
+			var v int32
+			if x < len(a) && (y >= len(b) || a[x] <= b[y]) {
+				v = a[x]
+				x++
+			} else {
+				v = b[y]
+				y++
+			}
+			if !diagDone && v > dj {
+				out.rowIdx = append(out.rowIdx, dj)
+				last = dj
+				diagDone = true
+			}
+			if v >= dj {
+				diagDone = true
+			}
+			if v != last {
+				out.rowIdx = append(out.rowIdx, v)
+				last = v
+			}
 		}
-		for _, i := range at.Col(j) {
-			col = append(col, int(i))
+		if !diagDone {
+			out.rowIdx = append(out.rowIdx, dj)
 		}
-		col = append(col, j)
-		cols[j] = col
-	}
-	out, err := New(m.n, cols)
-	if err != nil {
-		panic(err) // indices come from valid matrices
+		out.colPtr[j+1] = int32(len(out.rowIdx))
 	}
 	return out
 }

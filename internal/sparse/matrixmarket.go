@@ -4,8 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
+	"slices"
 )
 
 // WriteMatrixMarket serializes the pattern in MatrixMarket coordinate
@@ -27,89 +26,336 @@ func (m *Matrix) WriteMatrixMarket(w io.Writer) error {
 
 // ReadMatrixMarket parses a MatrixMarket coordinate file. Real, integer and
 // pattern fields are accepted (values are discarded); "symmetric" and
-// "skew-symmetric" storage is expanded to both triangles. Only square
-// matrices are accepted, since the downstream pipeline symmetrizes and
-// factorizes.
+// "skew-symmetric" storage is expanded to both triangles (skew-symmetric
+// files must not carry explicit diagonal entries). Only square matrices are
+// accepted, since the downstream pipeline symmetrizes and factorizes. Any
+// non-comment content after the declared number of entries is rejected.
+//
+// The returned matrix owns its storage. For repeated ingest without
+// per-call allocation, use a Parser.
 func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	if !sc.Scan() {
+	var p Parser
+	m, err := p.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	// Detach from the parser so the matrix survives parser reuse.
+	out := &Matrix{n: m.n}
+	out.colPtr = append(out.colPtr, m.colPtr...)
+	out.rowIdx = append(out.rowIdx, m.rowIdx...)
+	return out, nil
+}
+
+// Parser is a reusable MatrixMarket coordinate reader. It tokenizes the
+// raw bytes directly (no Scanner, no Fields, no Atoi), builds CSC with a
+// counting pass plus bucket fill, and reuses every internal buffer, so
+// steady-state parsing performs zero heap allocations. The matrix returned
+// by Parse/ParseBytes aliases the parser's buffers and is valid only until
+// the next call; use ReadMatrixMarket for an owning copy.
+type Parser struct {
+	buf    []byte  // raw input for the io.Reader path
+	pairs  []int32 // tokenized (row, col) pairs, 0-based, interleaved
+	colPtr []int32
+	next   []int32
+	rowIdx []int32
+	m      Matrix
+}
+
+// Parse reads all of r and parses it as a MatrixMarket coordinate file.
+func (p *Parser) Parse(r io.Reader) (*Matrix, error) {
+	p.buf = p.buf[:0]
+	if cap(p.buf) == 0 {
+		p.buf = make([]byte, 0, 1<<16)
+	}
+	for {
+		if len(p.buf) == cap(p.buf) {
+			p.buf = append(p.buf, 0)[:len(p.buf)]
+		}
+		nr, err := r.Read(p.buf[len(p.buf):cap(p.buf)])
+		p.buf = p.buf[:len(p.buf)+nr]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.ParseBytes(p.buf)
+}
+
+// ParseBytes parses an in-memory MatrixMarket coordinate file.
+func (p *Parser) ParseBytes(data []byte) (*Matrix, error) {
+	pos := 0
+	line, pos := mmLine(data, pos)
+	if pos < 0 {
 		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
 	}
-	header := strings.Fields(strings.ToLower(sc.Text()))
-	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	symmetric, skew, err := parseMMHeader(line)
+	if err != nil {
+		return nil, err
 	}
-	field, storage := header[3], header[4]
-	switch field {
-	case "pattern", "real", "integer":
-	default:
-		return nil, fmt.Errorf("sparse: unsupported field type %q", field)
-	}
-	symmetric := false
-	switch storage {
-	case "general":
-	case "symmetric", "skew-symmetric":
-		symmetric = true
-	default:
-		return nil, fmt.Errorf("sparse: unsupported storage %q", storage)
-	}
-	// Skip comments, read the size line.
-	var n, nnz int
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
+
+	// Skip comments and blank lines, then read the size line.
+	var n, nnz int64
+	for {
+		line, pos = mmLine(data, pos)
+		if pos < 0 {
+			return nil, fmt.Errorf("sparse: missing size line")
+		}
+		if mmBlankOrComment(line) {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
+		var lp int
+		var rows, cols int64
+		var ok bool
+		if rows, lp, ok = mmInt(line, 0); ok {
+			if cols, lp, ok = mmInt(line, lp); ok {
+				nnz, lp, ok = mmInt(line, lp)
+				ok = ok && mmRest(line, lp)
+			}
+		}
+		if !ok {
 			return nil, fmt.Errorf("sparse: malformed size line %q", line)
 		}
-		rows, err1 := strconv.Atoi(fields[0])
-		colsN, err2 := strconv.Atoi(fields[1])
-		cnt, err3 := strconv.Atoi(fields[2])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("sparse: malformed size line %q", line)
+		if rows != cols {
+			return nil, fmt.Errorf("sparse: matrix is %d×%d; only square supported", rows, cols)
 		}
-		if rows != colsN {
-			return nil, fmt.Errorf("sparse: matrix is %d×%d; only square supported", rows, colsN)
-		}
-		n, nnz = rows, cnt
+		n = rows
 		break
 	}
-	if n == 0 {
-		return nil, fmt.Errorf("sparse: missing size line")
+	if n <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: invalid size %d×%d with %d entries", n, n, nnz)
 	}
-	cols := make([][]int, n)
-	read := 0
-	for read < nnz && sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
+	// Guard allocations against corrupt headers: every entry needs at
+	// least 4 bytes ("i j\n"), and a file describing an n-column matrix
+	// cannot plausibly be orders of magnitude smaller than n.
+	rest := int64(len(data) - pos)
+	if nnz > 0 && nnz*3 > rest {
+		return nil, fmt.Errorf("sparse: declared %d entries but only %d bytes remain", nnz, rest)
+	}
+	if n > 4+8*int64(len(data)) {
+		return nil, fmt.Errorf("sparse: declared dimension %d implausible for %d-byte input", n, len(data))
+	}
+
+	// Pass 1: tokenize entries into pairs, counting entries per column.
+	if cap(p.colPtr) < int(n)+1 {
+		p.colPtr = make([]int32, n+1)
+		p.next = make([]int32, n)
+	} else {
+		p.colPtr = p.colPtr[:n+1]
+		p.next = p.next[:n]
+		clear(p.colPtr)
+	}
+	p.pairs = p.pairs[:0]
+	var read int64
+	for read < nnz {
+		line, pos = mmLine(data, pos)
+		if pos < 0 {
+			break
+		}
+		if mmBlankOrComment(line) {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("sparse: malformed entry %q", line)
+		i, lp, ok := mmInt(line, 0)
+		var j int64
+		if ok {
+			j, _, ok = mmInt(line, lp)
 		}
-		i, err1 := strconv.Atoi(fields[0])
-		j, err2 := strconv.Atoi(fields[1])
-		if err1 != nil || err2 != nil {
+		if !ok {
 			return nil, fmt.Errorf("sparse: malformed entry %q", line)
 		}
 		if i < 1 || i > n || j < 1 || j > n {
 			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for n=%d", i, j, n)
 		}
-		cols[j-1] = append(cols[j-1], i-1)
+		if skew && i == j {
+			return nil, fmt.Errorf("sparse: explicit diagonal entry (%d,%d) in skew-symmetric file", i, j)
+		}
+		p.pairs = append(p.pairs, int32(i-1), int32(j-1))
+		p.colPtr[j]++
 		if symmetric && i != j {
-			cols[i-1] = append(cols[i-1], j-1)
+			p.colPtr[i]++
 		}
 		read++
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if read != nnz {
 		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
 	}
-	return New(n, cols)
+	// Anything after the declared entries must be comments or blanks.
+	for {
+		line, pos = mmLine(data, pos)
+		if pos < 0 {
+			break
+		}
+		if !mmBlankOrComment(line) {
+			return nil, fmt.Errorf("sparse: trailing garbage after %d entries: %q", nnz, line)
+		}
+	}
+
+	// Pass 2: prefix sums, then bucket fill.
+	var total int32
+	for j := int64(1); j <= n; j++ {
+		total += p.colPtr[j]
+		p.colPtr[j] = total
+	}
+	copy(p.next, p.colPtr[:n])
+	if cap(p.rowIdx) < int(total) {
+		p.rowIdx = make([]int32, total)
+	} else {
+		p.rowIdx = p.rowIdx[:total]
+	}
+	for k := 0; k < len(p.pairs); k += 2 {
+		i, j := p.pairs[k], p.pairs[k+1]
+		p.rowIdx[p.next[j]] = i
+		p.next[j]++
+		if symmetric && i != j {
+			p.rowIdx[p.next[i]] = j
+			p.next[i]++
+		}
+	}
+	// Pass 3: sort each column and deduplicate in place, compacting.
+	var w int32
+	for j := int64(0); j < n; j++ {
+		lo, hi := p.colPtr[j], p.colPtr[j+1]
+		slices.Sort(p.rowIdx[lo:hi])
+		newLo := w
+		for r := lo; r < hi; r++ {
+			if w == newLo || p.rowIdx[r] != p.rowIdx[w-1] {
+				p.rowIdx[w] = p.rowIdx[r]
+				w++
+			}
+		}
+		p.colPtr[j] = newLo
+	}
+	p.colPtr[n] = w
+	p.m = Matrix{n: int(n), colPtr: p.colPtr, rowIdx: p.rowIdx[:w]}
+	return &p.m, nil
+}
+
+// mmLine returns the next line of data starting at pos and the offset just
+// past its terminator, stripping a trailing \r. next is -1 at end of input.
+func mmLine(data []byte, pos int) (line []byte, next int) {
+	if pos >= len(data) {
+		return nil, -1
+	}
+	end := pos
+	for end < len(data) && data[end] != '\n' {
+		end++
+	}
+	line = data[pos:end]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, end + 1
+}
+
+// mmBlankOrComment reports whether the line carries no data.
+func mmBlankOrComment(line []byte) bool {
+	for _, c := range line {
+		switch c {
+		case ' ', '\t':
+			continue
+		case '%':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// mmInt parses the next whitespace-delimited decimal integer of line at or
+// after pos, returning the value and the offset past it.
+func mmInt(line []byte, pos int) (val int64, next int, ok bool) {
+	for pos < len(line) && (line[pos] == ' ' || line[pos] == '\t') {
+		pos++
+	}
+	neg := false
+	if pos < len(line) && (line[pos] == '-' || line[pos] == '+') {
+		neg = line[pos] == '-'
+		pos++
+	}
+	start := pos
+	for pos < len(line) && line[pos] >= '0' && line[pos] <= '9' {
+		if val > (1<<62)/10 {
+			return 0, pos, false // overflow
+		}
+		val = val*10 + int64(line[pos]-'0')
+		pos++
+	}
+	if pos == start {
+		return 0, pos, false
+	}
+	if pos < len(line) && line[pos] != ' ' && line[pos] != '\t' {
+		return 0, pos, false // e.g. "1x" or a float where an index belongs
+	}
+	if neg {
+		val = -val
+	}
+	return val, pos, true
+}
+
+// mmRest reports whether only whitespace remains on the line after pos.
+func mmRest(line []byte, pos int) bool {
+	for ; pos < len(line); pos++ {
+		if line[pos] != ' ' && line[pos] != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseMMHeader validates the banner line and classifies the storage.
+func parseMMHeader(line []byte) (symmetric, skew bool, err error) {
+	var toks [6][]byte
+	ntok := 0
+	pos := 0
+	for ntok < 6 {
+		for pos < len(line) && (line[pos] == ' ' || line[pos] == '\t') {
+			pos++
+		}
+		if pos >= len(line) {
+			break
+		}
+		start := pos
+		for pos < len(line) && line[pos] != ' ' && line[pos] != '\t' {
+			pos++
+		}
+		toks[ntok] = line[start:pos]
+		ntok++
+	}
+	if ntok < 5 || !mmFold(toks[0], "%%matrixmarket") || !mmFold(toks[1], "matrix") || !mmFold(toks[2], "coordinate") {
+		return false, false, fmt.Errorf("sparse: unsupported MatrixMarket header %q", line)
+	}
+	switch {
+	case mmFold(toks[3], "pattern"), mmFold(toks[3], "real"), mmFold(toks[3], "integer"):
+	default:
+		return false, false, fmt.Errorf("sparse: unsupported field type %q", toks[3])
+	}
+	switch {
+	case mmFold(toks[4], "general"):
+	case mmFold(toks[4], "symmetric"):
+		symmetric = true
+	case mmFold(toks[4], "skew-symmetric"):
+		symmetric, skew = true, true
+	default:
+		return false, false, fmt.Errorf("sparse: unsupported storage %q", toks[4])
+	}
+	return symmetric, skew, nil
+}
+
+// mmFold compares b to the lower-case ASCII string s case-insensitively.
+func mmFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -57,9 +57,99 @@ func EliminationTree(m *sparse.Matrix) ([]int, error) {
 }
 
 // ColumnCounts returns the number of nonzeros of every column of the
-// Cholesky factor L (diagonal included), using row-subtree traversals in
-// O(|L|) time. parent must be the elimination tree of m.
+// Cholesky factor L (diagonal included). parent must be the elimination
+// tree of m. It runs the Gilbert–Ng–Peyton skeleton algorithm in
+// O(nnz·α(nnz,n)) time: a postorder pass finds each column's first
+// descendant, then every entry a_ij (i > j) is classified as a skeleton
+// entry — j a leaf of row i's subtree — or a duplicate via maxfirst; leaf
+// overlaps are charged to the least common ancestor found by a
+// path-compressed union-find, and the resulting per-column deltas are
+// summed up the tree. Unlike the row-subtree traversal it replaces (kept
+// as columnCountsNaive for differential tests), the cost is proportional
+// to nnz(A), not to |L|.
 func ColumnCounts(m *sparse.Matrix, parent []int) ([]int64, error) {
+	n := m.N()
+	if len(parent) != n {
+		return nil, fmt.Errorf("symbolic: parent vector has %d entries, want %d", len(parent), n)
+	}
+	for j, p := range parent {
+		if p != NoParent && (p <= j || p >= n) {
+			return nil, fmt.Errorf("symbolic: parent[%d] = %d is not a valid etree parent", j, p)
+		}
+	}
+	post := EtreePostorder(parent)
+	counts := make([]int64, n)
+	work := make([]int32, 4*n)
+	first, maxfirst, prevleaf, ancestor := work[:n], work[n:2*n], work[2*n:3*n], work[3*n:]
+	for i := int32(0); i < int32(n); i++ {
+		first[i], maxfirst[i], prevleaf[i] = -1, -1, -1
+		ancestor[i] = i
+	}
+	// First descendants: first[j] = postorder index of j's earliest leaf.
+	for k, j := range post {
+		if first[j] == -1 {
+			counts[j] = 1 // j is a leaf of the etree
+		}
+		for ; j != NoParent && first[j] == -1; j = parent[j] {
+			first[j] = int32(k)
+		}
+	}
+	for _, j := range post {
+		if parent[j] != NoParent {
+			counts[parent[j]]--
+		}
+		for _, ir := range m.Col(j) {
+			i := int(ir)
+			if i <= j {
+				continue
+			}
+			q, kind := skeletonLeaf(int32(i), int32(j), first, maxfirst, prevleaf, ancestor)
+			if kind >= 1 {
+				counts[j]++ // a_ij is a skeleton entry
+			}
+			if kind == 2 {
+				counts[q]-- // overlap with the previous leaf of row i
+			}
+		}
+		if parent[j] != NoParent {
+			ancestor[j] = int32(parent[j])
+		}
+	}
+	// Sum deltas up the tree; parents have larger indices, so ascending
+	// order finalizes every child before its parent.
+	for j := 0; j < n; j++ {
+		if p := parent[j]; p != NoParent {
+			counts[p] += counts[j]
+		}
+	}
+	return counts, nil
+}
+
+// skeletonLeaf decides whether column j is a leaf of row i's subtree. kind
+// is 0 if not a leaf, 1 for the first leaf of the subtree, 2 for a later
+// leaf — in which case q is the least common ancestor of j and the
+// previous leaf, found by path-compressed union-find.
+func skeletonLeaf(i, j int32, first, maxfirst, prevleaf, ancestor []int32) (q int32, kind int) {
+	if first[j] <= maxfirst[i] {
+		return -1, 0 // j spans no new descendants of row i
+	}
+	maxfirst[i] = first[j]
+	jprev := prevleaf[i]
+	prevleaf[i] = j
+	if jprev == -1 {
+		return i, 1
+	}
+	for q = jprev; q != ancestor[q]; q = ancestor[q] {
+	}
+	for s := jprev; s != q; {
+		s, ancestor[s] = ancestor[s], q
+	}
+	return q, 2
+}
+
+// columnCountsNaive is the seed implementation: row-subtree traversals in
+// O(|L|) time, kept as the differential reference for ColumnCounts.
+func columnCountsNaive(m *sparse.Matrix, parent []int) ([]int64, error) {
 	n := m.N()
 	if len(parent) != n {
 		return nil, fmt.Errorf("symbolic: parent vector has %d entries, want %d", len(parent), n)
@@ -91,34 +181,49 @@ func ColumnCounts(m *sparse.Matrix, parent []int) ([]int64, error) {
 }
 
 // EtreePostorder returns a postorder of the elimination forest (children
-// before parents); forests are handled by visiting each root in turn.
+// before parents, siblings in index order); forests are handled by
+// visiting each root in turn. The child lists live in one flat bucketed
+// array (counting pass + prefix sums), so the whole computation is four
+// fixed-size allocations regardless of tree shape.
 func EtreePostorder(parent []int) []int {
 	n := len(parent)
-	children := make([][]int32, n)
-	var roots []int32
-	for j, p := range parent {
-		if p == NoParent {
-			roots = append(roots, int32(j))
-		} else {
-			children[p] = append(children[p], int32(j))
+	childPtr := make([]int32, n+1)
+	for _, p := range parent {
+		if p != NoParent {
+			childPtr[p+1]++
 		}
 	}
-	out := make([]int, 0, n)
-	type frame struct {
-		node int32
-		next int32
+	for j := 0; j < n; j++ {
+		childPtr[j+1] += childPtr[j]
 	}
-	for _, r := range roots {
-		stack := []frame{{r, 0}}
+	child := make([]int32, childPtr[n])
+	// cursor doubles as the fill cursor here and the next-child cursor in
+	// the traversal below; both sweep each bucket exactly once.
+	cursor := make([]int32, n)
+	copy(cursor, childPtr[:n])
+	for j, p := range parent {
+		if p != NoParent {
+			child[cursor[p]] = int32(j)
+			cursor[p]++
+		}
+	}
+	copy(cursor, childPtr[:n])
+	out := make([]int, 0, n)
+	stack := make([]int32, 0, 64)
+	for r, p := range parent {
+		if p != NoParent {
+			continue
+		}
+		stack = append(stack, int32(r))
 		for len(stack) > 0 {
-			fr := &stack[len(stack)-1]
-			if int(fr.next) < len(children[fr.node]) {
-				c := children[fr.node][fr.next]
-				fr.next++
-				stack = append(stack, frame{c, 0})
+			node := stack[len(stack)-1]
+			if cursor[node] < childPtr[node+1] {
+				c := child[cursor[node]]
+				cursor[node]++
+				stack = append(stack, c)
 				continue
 			}
-			out = append(out, int(fr.node))
+			out = append(out, int(node))
 			stack = stack[:len(stack)-1]
 		}
 	}
